@@ -1,0 +1,139 @@
+"""Experiment **A-sync/filters** — design-choice ablations on live networks.
+
+Micro-benchmarks of the pieces DESIGN.md calls out as design choices:
+filter execution cost, synchronization policy effect on delivery, the
+serialization fast path, and live wave latency flat-vs-deep on the real
+thread middleware.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import FIRST_APPLICATION_TAG, Network, balanced_topology, flat_topology
+from repro.core.builtin_filters import AverageFilter, ConcatFilter, SumFilter
+from repro.core.filters import FilterContext
+from repro.core.packet import Packet
+from repro.core.serialization import pack_payload, unpack_payload
+from repro.cluster.meanshift_filter import MEANSHIFT_FMT, MeanShiftFilter
+
+TAG = FIRST_APPLICATION_TAG
+
+
+# -- filter execution cost ------------------------------------------------------
+
+def _batch(fmt, values_list):
+    return [Packet(1, TAG, fmt, v, src=i) for i, v in enumerate(values_list)]
+
+
+@pytest.mark.parametrize("width", [16, 256])
+def test_sum_filter_cost(benchmark, width):
+    batch = _batch("%af", [(np.random.default_rng(i).random(width),) for i in range(16)])
+    f = SumFilter()
+    ctx = FilterContext(n_children=16)
+    (out,) = benchmark(f.execute, batch, ctx)
+    assert out.values[0].shape == (width,)
+
+
+def test_concat_filter_cost(benchmark):
+    batch = _batch("%af", [(np.random.default_rng(i).random(128),) for i in range(16)])
+    (out,) = benchmark(ConcatFilter().execute, batch, FilterContext(n_children=16))
+    assert len(out.values[0]) == 16 * 128
+
+
+def test_avg_filter_cost(benchmark):
+    batch = _batch("%af", [(np.random.default_rng(i).random(128),) for i in range(16)])
+    f = AverageFilter()
+    ctx = FilterContext(n_children=16, is_root=True)
+    (out,) = benchmark(f.execute, batch, ctx)
+    assert out.values[0].shape == (128,)
+
+
+def test_meanshift_merge_filter_cost(benchmark):
+    """The case study's per-node merge on realistic collapsed payloads."""
+    rng = np.random.default_rng(0)
+    def child(i):
+        pts = rng.normal(loc=(200 * (i % 2), 200), scale=30, size=(400, 2))
+        peaks = np.array([[200.0 * (i % 2), 200.0]])
+        return (pts, np.ones(len(pts)), peaks)
+
+    batch = _batch(MEANSHIFT_FMT, [child(i) for i in range(4)])
+    f = MeanShiftFilter(bandwidth=50.0)
+    (out,) = benchmark(f.execute, batch, FilterContext(n_children=4))
+    assert len(out.values[2]) >= 1
+
+
+# -- serialization path ------------------------------------------------------------
+
+def test_pack_unpack_throughput(benchmark):
+    fmt = "%d %f %s %af %am"
+    values = (
+        7,
+        3.14,
+        "status",
+        np.random.default_rng(0).random(1000),
+        np.random.default_rng(1).random((100, 2)),
+    )
+
+    def roundtrip():
+        return unpack_payload(fmt, pack_payload(fmt, values))
+
+    out = benchmark(roundtrip)
+    assert out[0] == 7
+
+
+# -- sync policy + live latency ---------------------------------------------------
+
+@pytest.mark.parametrize("sync,params", [
+    ("wait_for_all", {}),
+    ("time_out", {"window": 0.5}),
+    ("null", {}),
+])
+def test_live_wave_latency_by_sync_policy(benchmark, sync, params):
+    """One full wave (all 9 leaves -> root) under each sync policy.
+
+    ``null`` delivers 9 unreduced packets; the aligned policies deliver
+    one — the aggregation-versus-immediacy trade MRNet exposes.
+    """
+    net = Network(balanced_topology(3, 2))
+    try:
+        s = net.new_stream(transform="sum", sync=sync, sync_params=params)
+        for be in net.backends:
+            be.wait_for_stream(s.stream_id)
+        n = net.topology.n_backends
+
+        def one_wave():
+            for be in net.backends:
+                be.send(s.stream_id, TAG, "%d", 1)
+            if sync == "null":
+                total = 0
+                while total < n:
+                    total += s.recv(timeout=10).values[0]
+                return total
+            return s.recv(timeout=10).values[0]
+
+        total = benchmark(one_wave)
+        assert total == n
+    finally:
+        net.shutdown()
+
+
+@pytest.mark.parametrize("shape", ["flat", "deep"])
+def test_live_wave_latency_flat_vs_deep(benchmark, shape):
+    """Live (thread transport) wave latency at 16 leaves, both shapes."""
+    topo = flat_topology(16) if shape == "flat" else balanced_topology(4, 2)
+    net = Network(topo)
+    try:
+        s = net.new_stream(transform="sum", sync="wait_for_all")
+        for be in net.backends:
+            be.wait_for_stream(s.stream_id)
+
+        def one_wave():
+            for be in net.backends:
+                be.send(s.stream_id, TAG, "%d", 1)
+            return s.recv(timeout=10).values[0]
+
+        assert benchmark(one_wave) == 16
+    finally:
+        net.shutdown()

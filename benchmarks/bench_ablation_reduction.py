@@ -1,0 +1,105 @@
+"""Ablation: the data-reduction property (DESIGN.md design choice).
+
+The paper defines TBON-suited algorithms by three properties; property 2
+is "the algorithm's output is lesser in size than its total inputs".
+This ablation turns that property off for the mean-shift filter
+(``collapse_cell=0`` forwards raw merged data) and measures what happens
+to upstream payload sizes and the simulated front-end cost — the
+reduction is what keeps deep-tree node work bounded by fan-out.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import FIRST_APPLICATION_TAG, Network, balanced_topology
+from repro.cluster.datagen import ClusterSpec, leaf_dataset
+from repro.cluster.meanshift_filter import MEANSHIFT_FMT, leaf_mean_shift
+from repro.simulate.simnet import SimCosts, SimTBON, WaveMessage
+from repro.core.topology import flat_topology
+
+TAG = FIRST_APPLICATION_TAG
+SPEC = ClusterSpec(points_per_cluster=150)
+
+
+@pytest.mark.parametrize("collapse", ["on", "off"])
+def test_live_payload_growth(benchmark, collapse):
+    """Root-payload size with and without the reduction, live middleware."""
+    cell = None if collapse == "on" else 0
+
+    def run() -> int:
+        topo = balanced_topology(2, 2)
+        with Network(topo) as net:
+            s = net.new_stream(
+                transform="mean_shift",
+                sync="wait_for_all",
+                transform_params={
+                    "bandwidth": 50.0,
+                    **({"collapse_cell": 0} if cell == 0 else {}),
+                },
+            )
+            order = {r: i for i, r in enumerate(topo.backends)}
+
+            def leaf(be):
+                be.wait_for_stream(s.stream_id)
+                pts = leaf_dataset(order[be.rank], SPEC, seed=1)
+                d, w, pk, _ = leaf_mean_shift(pts, collapse_cell=cell)
+                be.send(s.stream_id, TAG, MEANSHIFT_FMT, d, w, pk)
+
+            net.run_backends(leaf)
+            pkt = s.recv(timeout=30)
+            return len(pkt.values[0])
+
+    root_points = benchmark(run)
+    total_input = 4 * len(leaf_dataset(0, SPEC, seed=1))
+    print(f"\ncollapse={collapse}: {root_points} points at the root "
+          f"(input total {total_input})")
+    if collapse == "on":
+        assert root_points < total_input / 3  # a genuine reduction
+    else:
+        assert root_points == total_input  # raw union forwarded
+
+
+def test_simulated_frontend_cost_without_reduction(benchmark, meanshift_model):
+    """Disable the reduction in the cost model: flat fronts explode.
+
+    With collapse on, a leaf ships ~``leaf_out_points`` representatives;
+    without it, the full shard travels and merged sets grow with subtree
+    size, so the flat front-end's merge input is N x points_per_leaf —
+    an order of magnitude more work at 64 leaves.
+    """
+    model = meanshift_model
+    costs = SimCosts()
+    n = 64
+
+    def build(reduced: bool):
+        def leaf_fn(rank):
+            pts = model.leaf_out_points if reduced else model.points_per_leaf
+            return model.leaf_time, WaveMessage(
+                nbytes=model.payload_bytes(pts, model.leaf_out_peaks),
+                meta=(pts, model.leaf_out_peaks),
+            )
+
+        def merge_fn(rank, msgs):
+            n_in = sum(m.meta[0] for m in msgs)
+            seeds = sum(m.meta[1] for m in msgs)
+            cpu = model.merge_cpu(n_in, seeds)
+            out_pts = model.collapsed_size(n_in) if reduced else n_in
+            return cpu, WaveMessage(
+                nbytes=model.payload_bytes(out_pts, model.n_modes),
+                meta=(out_pts, model.n_modes),
+            )
+
+        return SimTBON(flat_topology(n), costs, leaf_fn, merge_fn)
+
+    def run_pair():
+        return (
+            build(True).run().completion_time,
+            build(False).run().completion_time,
+        )
+
+    t_reduced, t_raw = benchmark(run_pair)
+    print(f"\nflat {n} leaves: reduced {t_reduced:.2f}s, raw {t_raw:.2f}s "
+          f"({t_raw / t_reduced:.1f}x worse without the reduction)")
+    assert t_raw > 3 * t_reduced

@@ -1,0 +1,94 @@
+"""Experiment **A-logscale** — logarithmic tree scaling (§1/§2 claim).
+
+Paper: "tree-based data communication scales logarithmically with the
+number of processes in the network ... data reduction overheads vary
+logarithmically with respect to the total number of processes."  The
+ablation isolates communication/consolidation cost with a tiny fixed
+payload and sweeps process count for flat vs bounded-fan-out trees, and
+fan-out itself at fixed scale.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.bench.harness import run_logscale_table
+from repro.core.topology import deep_topology, flat_topology
+from repro.simulate.simnet import SimCosts, SimTBON, WaveMessage
+from conftest import emit
+
+
+def test_logscale_table(benchmark):
+    table = benchmark(run_logscale_table)
+    emit(table)
+    flat = table.series("flat")
+    tree = table.series("tree")
+    # Flat grows ~linearly (256x size -> >50x latency); tree near-log.
+    assert flat[-1] / flat[0] > 50
+    assert tree[-1] / tree[0] < 6
+
+
+def _tiny_reduction(topology):
+    costs = SimCosts()
+    leaf = lambda rank: (0.0, WaveMessage(nbytes=1024.0, meta=1))
+    merge = lambda rank, msgs: (
+        2e-6 * len(msgs),
+        WaveMessage(nbytes=1024.0, meta=sum(m.meta for m in msgs)),
+    )
+    return SimTBON(topology, costs, leaf, merge).run()
+
+
+@pytest.mark.parametrize("fanout", [2, 4, 16, 64])
+def test_fanout_sweep_at_4096(benchmark, fanout):
+    """Ablation: fan-out trades depth (latency hops) for per-node load.
+
+    Very small fan-out wastes depth; very large fan-out re-creates the
+    flat bottleneck — the sweet spot is in between, which is why MRNet
+    makes topology a tunable.
+    """
+    rep = benchmark(_tiny_reduction, deep_topology(4096, fanout))
+    depth = math.ceil(math.log(4096, fanout))
+    print(f"\nfanout {fanout}: depth~{depth}, time {rep.completion_time*1e3:.2f} ms")
+    assert rep.root_result.meta == 4096
+
+
+@pytest.mark.parametrize("k,order", [(2, 8), (4, 4)])
+def test_knomial_vs_balanced(benchmark, k, order):
+    """Flexible-topology ablation: skewed k-nomial vs balanced trees.
+
+    MRNet supports "balanced (k-ary) and skewed (k-nomial) trees"; the
+    k-nomial shape trades a hot root (fan-out ~ order*(k-1)) for lower
+    average depth.  Same leaf count, same workload, shapes compared.
+    """
+    from repro.core.topology import knomial_topology
+
+    knomial = knomial_topology(k, order)
+    n = knomial.n_backends
+
+    def run_pair():
+        t_kn = _tiny_reduction(knomial).completion_time
+        t_bal = _tiny_reduction(deep_topology(n, 16)).completion_time
+        return t_kn, t_bal
+
+    t_kn, t_bal = benchmark(run_pair)
+    print(
+        f"\n{n} leaves: k-nomial(k={k}) {t_kn * 1e3:.2f} ms "
+        f"(depth {knomial.depth()}, root fan-out {knomial.fanout(0)}), "
+        f"balanced-16 {t_bal * 1e3:.2f} ms"
+    )
+    # Both shapes beat the flat organization handily.
+    t_flat = _tiny_reduction(flat_topology(n)).completion_time
+    assert t_kn < t_flat and t_bal < t_flat
+
+
+def test_reduction_latency_vs_flat_at_4096(benchmark):
+    def pair():
+        t_flat = _tiny_reduction(flat_topology(4096)).completion_time
+        t_tree = _tiny_reduction(deep_topology(4096, 16)).completion_time
+        return t_flat, t_tree
+
+    t_flat, t_tree = benchmark(pair)
+    print(f"\n4096 leaves: flat {t_flat*1e3:.1f} ms, tree {t_tree*1e3:.1f} ms")
+    assert t_flat / t_tree > 20

@@ -1,0 +1,110 @@
+"""Ablation: heterogeneous hosts and stragglers (sync-policy motivation).
+
+The paper's testbed mixed 2.8 and 3.2 GHz Pentium 4s.  Under
+``wait_for_all`` a wave completes at the *slowest* contributor, so host
+heterogeneity taxes every level of the tree; ``time_out`` trades
+completeness for latency.  This ablation quantifies both effects on the
+simulator (deterministic speed assignments) and on the live middleware
+(an artificially slow leaf plus a ``time_out`` stream).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import FIRST_APPLICATION_TAG, Network, balanced_topology
+from repro.core.topology import deep_topology
+from repro.simulate.simnet import SimCosts, SimTBON, WaveMessage
+
+TAG = FIRST_APPLICATION_TAG
+
+
+def _meanshift_like(topology, node_speed=None):
+    leaf = lambda rank: (1.0, WaveMessage(nbytes=4096.0, meta=1))
+    merge = lambda rank, msgs: (
+        0.01 * len(msgs),
+        WaveMessage(nbytes=4096.0, meta=sum(m.meta for m in msgs)),
+    )
+    return SimTBON(topology, SimCosts(), leaf, merge, node_speed=node_speed)
+
+
+@pytest.mark.parametrize("spread", [0.0, 0.07, 0.3])
+def test_heterogeneity_tax(benchmark, spread):
+    """Completion time vs host-speed spread (paper mix ~ 7%).
+
+    Speeds are deterministic in the rank: alternating fast/slow hosts
+    around 1.0.  With wait_for_all semantics the slowest leaf gates the
+    whole phase, so the tax equals the spread, at every scale.
+    """
+    topo = deep_topology(256, 16)
+
+    def speed(rank: int) -> float:
+        return 1.0 + spread * (1 if rank % 2 == 0 else -1)
+
+    rep = benchmark(lambda: _meanshift_like(topo, speed).run())
+    baseline = 1.0 + 0.01 * 16  # leaf + one merge level, roughly
+    print(f"\nspread {spread:.0%}: completion {rep.completion_time:.3f}s")
+    # The tax tracks the slowest host: t ~ leaf_time / (1 - spread).
+    assert rep.completion_time >= 1.0 / (1.0 + spread)
+    if spread > 0:
+        even = _meanshift_like(topo).run().completion_time
+        assert rep.completion_time > even
+
+
+def test_single_straggler_gates_wait_for_all(benchmark):
+    """One 4x-slower leaf delays the whole wait_for_all phase ~4x."""
+    topo = deep_topology(64, 8)
+    slow_leaf = topo.backends[17]
+
+    def speed(rank: int) -> float:
+        return 0.25 if rank == slow_leaf else 1.0
+
+    rep = benchmark(lambda: _meanshift_like(topo, speed).run())
+    even = _meanshift_like(topo).run().completion_time
+    print(f"\neven {even:.2f}s vs one straggler {rep.completion_time:.2f}s")
+    assert rep.completion_time > 3.5 * even
+
+
+def test_live_timeout_beats_waitforall_with_straggler(benchmark):
+    """On the real middleware, time_out delivers before the straggler.
+
+    One leaf sleeps 0.8 s before replying; wait_for_all waits for it,
+    time_out (window 0.2 s) serves the other 8 leaves first.
+    """
+    topo = balanced_topology(3, 2)
+    straggler = topo.backends[-1]
+
+    def run() -> tuple[float, int]:
+        with Network(topo) as net:
+            s = net.new_stream(
+                transform="sum", sync="time_out", sync_params={"window": 0.2}
+            )
+
+            def leaf(be):
+                be.wait_for_stream(s.stream_id)
+                if be.rank == straggler:
+                    time.sleep(0.8)
+                be.send(s.stream_id, TAG, "%d", 1)
+
+            threads = net.run_backends(leaf, join=False)
+            t0 = time.perf_counter()
+            first = s.recv(timeout=10)
+            latency = time.perf_counter() - t0
+            # The straggler's contribution arrives in a later batch.
+            rest = 0
+            try:
+                while True:
+                    rest += s.recv(timeout=2.0).values[0]
+            except TimeoutError:
+                pass
+            for t in threads:
+                t.join(10)
+            return latency, int(first.values[0] + rest)
+
+    latency, total = benchmark.pedantic(run, rounds=3, iterations=1)
+    print(f"\nfirst batch after {latency:.2f}s; total {total} (all 9 arrive)")
+    assert latency < 0.8  # served before the straggler woke up
+    assert total == 9  # nothing lost, just delivered late

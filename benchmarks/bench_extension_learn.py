@@ -1,0 +1,85 @@
+"""Extension bench: distributed decision-tree building (Section 4 future work).
+
+Not a paper figure — the paper only sketches this — but the design
+choice worth measuring: per-round cost of the bidirectional pattern
+(model down, statistics up) on the live middleware, and how fitting
+scales with shard count when per-shard data is fixed (the Figure-4
+scaling regime applied to learning).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Network, balanced_topology, deep_topology
+from repro.learn import (
+    distributed_score,
+    fit_distributed,
+    make_classification_shard,
+    union_shards,
+    fit_single,
+)
+
+
+@pytest.mark.parametrize("n_leaves", [4, 9, 16])
+def test_fit_scaling_with_shards(benchmark, n_leaves):
+    """Wall-clock of a depth-4 distributed fit as leaves multiply.
+
+    Every leaf holds the same amount of data, so the sufficient
+    statistics stay the same size regardless of scale — rounds cost
+    O(tree depth x frontier), not O(total data), which is the TBON
+    data-reduction property applied to learning.
+    """
+    topo = deep_topology(n_leaves, max_fanout=4)
+    shards = {
+        r: make_classification_shard(i, n_samples=200, seed=13)
+        for i, r in enumerate(topo.backends)
+    }
+
+    def run():
+        with Network(topo) as net:
+            return fit_distributed(net, shards, "classify", max_depth=4, n_bins=16)
+
+    tree = benchmark(run)
+    print(f"\n{n_leaves} shards: depth {tree.depth}, {tree.n_leaves} leaves, "
+          f"root n={tree.nodes[0].n_samples}")
+    assert tree.nodes[0].n_samples == 200 * n_leaves
+
+
+def test_distributed_equals_single(benchmark):
+    """The exactness claim, timed: distributed fit == union fit."""
+    topo = balanced_topology(3, 2)
+    shards = {
+        r: make_classification_shard(i, n_samples=150, seed=21)
+        for i, r in enumerate(topo.backends)
+    }
+    X, y = union_shards([shards[r] for r in topo.backends])
+
+    def run():
+        with Network(topo) as net:
+            return fit_distributed(net, shards, "classify", max_depth=4)
+
+    dist = benchmark(run)
+    single = fit_single(X, y, "classify", max_depth=4)
+    assert len(dist.nodes) == len(single.nodes)
+    assert all(
+        a.feature == b.feature and a.threshold == b.threshold
+        for a, b in zip(dist.nodes, single.nodes)
+    )
+
+
+def test_cross_validation_round(benchmark):
+    """One distributed scoring pass (broadcast model, reduce metrics)."""
+    topo = balanced_topology(3, 2)
+    shards = {
+        r: make_classification_shard(i, n_samples=200, seed=31)
+        for i, r in enumerate(topo.backends)
+    }
+    net = Network(topo)
+    try:
+        tree = fit_distributed(net, shards, "classify", max_depth=5, n_bins=32)
+        acc = benchmark(distributed_score, net, tree, shards)
+        print(f"\ntrain accuracy {acc:.3f}")
+        assert acc > 0.9
+    finally:
+        net.shutdown()

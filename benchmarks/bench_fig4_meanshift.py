@@ -1,0 +1,107 @@
+"""Experiment **Fig. 4** — mean-shift processing times (the headline figure).
+
+Reproduces the paper's Figure 4: processing time of the distributed
+mean-shift for the *single-node*, *flat (1-deep)* and *deep (2-deep)*
+organizations across input scale factors 16..324, with the simulator's
+cost model calibrated from the real NumPy kernel on this machine.
+
+Also includes a **live** cross-check at laptop scale: the actual
+middleware (threads, real packets, real mean-shift) at small leaf
+counts, verifying the distributed runs beat the single node on real
+wall-clock — the simulator extends the same trend to cluster scale.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import FIRST_APPLICATION_TAG, Network, flat_topology
+from repro.bench.harness import run_fig4
+from repro.cluster.datagen import ClusterSpec, full_dataset, leaf_dataset
+from repro.cluster.meanshift import mean_shift
+from repro.cluster.meanshift_filter import MEANSHIFT_FMT, leaf_mean_shift
+from conftest import emit
+
+TAG = FIRST_APPLICATION_TAG
+
+
+def test_fig4_simulated(benchmark, meanshift_model):
+    """The full Figure 4 sweep (simulated at paper scale)."""
+    result = benchmark(run_fig4, meanshift_model)
+    emit(result.table)
+    violations = result.check_shape()
+    assert violations == [], violations
+
+
+def test_fig4_live_smallscale(benchmark):
+    """Real middleware + real kernel at laptop scale (4 leaves).
+
+    Measures the paper's protocol: start-control broadcast to results at
+    the front-end, compared against the single-node run on the union.
+    """
+    spec = ClusterSpec(points_per_cluster=400)
+    n_leaves = 4
+    leaf_data = [leaf_dataset(i, spec, seed=42) for i in range(n_leaves)]
+
+    def distributed_run() -> float:
+        topo = flat_topology(n_leaves)
+        with Network(topo) as net:
+            s = net.new_stream(
+                transform="mean_shift",
+                sync="wait_for_all",
+                transform_params={"bandwidth": 50.0},
+            )
+            order = {r: i for i, r in enumerate(topo.backends)}
+
+            def leaf(be):
+                be.wait_for_stream(s.stream_id)
+                be.recv(timeout=30, stream_id=s.stream_id)  # start control
+                d, w, pk, _ = leaf_mean_shift(leaf_data[order[be.rank]])
+                be.send(s.stream_id, TAG, MEANSHIFT_FMT, d, w, pk)
+
+            threads = net.run_backends(leaf, join=False)
+            t0 = time.perf_counter()
+            s.send(TAG, "%d", 0)  # the paper's start-control broadcast
+            pkt = s.recv(timeout=60)
+            elapsed = time.perf_counter() - t0
+            for t in threads:
+                t.join(30)
+            assert len(pkt.values[2]) >= 1
+            return elapsed
+
+    dist_time = benchmark(distributed_run)
+
+    t0 = time.perf_counter()
+    single = mean_shift(full_dataset(n_leaves, spec, seed=42))
+    single_time = time.perf_counter() - t0
+    print(
+        f"\nlive 4-leaf: single {single_time:.3f}s, distributed {dist_time:.3f}s, "
+        f"speedup {single_time / dist_time:.2f}x, peaks {len(single.peaks)}"
+    )
+    # Distribution must not be slower than the single node even at this
+    # tiny scale (the paper's flat trees beat single everywhere).
+    assert dist_time < single_time
+
+
+@pytest.mark.parametrize("scale", [64, 324])
+def test_fig4_point_deep_vs_flat(benchmark, meanshift_model, scale):
+    """Single-scale checks: the deep-over-flat advantage at 64 and 324."""
+    from repro.core.topology import flat_topology as flat
+    from repro.simulate.workload import meanshift_deep_topology, meanshift_sim
+
+    def run_pair():
+        t_flat = meanshift_sim(flat(scale), meanshift_model).run().completion_time
+        t_deep = (
+            meanshift_sim(meanshift_deep_topology(scale), meanshift_model)
+            .run()
+            .completion_time
+        )
+        return t_flat, t_deep
+
+    t_flat, t_deep = benchmark(run_pair)
+    print(f"\nscale {scale}: flat {t_flat:.3f}s deep {t_deep:.3f}s")
+    if scale >= 128:
+        assert t_deep < t_flat / 10

@@ -1,0 +1,83 @@
+"""The paper's open question, answered with the calibrated model.
+
+Section 3.2 closes with: "An open question is whether even deeper trees
+with limited fan-outs would yield a constant execution time as the
+scale increases."
+
+This bench fixes the fan-out (so per-node work is bounded) and lets the
+tree deepen as the scale grows, sweeping well past the paper's 324
+leaves.  With the mean-shift workload's collapsed payloads, per-level
+work is constant, so total time grows only with *depth* — O(log N) — a
+gentle, plainly non-constant but asymptotically negligible growth:
+deeper bounded-fan-out trees are the right answer at scale.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.topology import deep_topology
+from repro.simulate.workload import meanshift_sim
+from repro.bench.reporting import SeriesTable, fmt_seconds
+from conftest import emit
+
+
+SCALES = (64, 256, 1024, 4096)
+FANOUT = 8
+
+
+def test_depth_sweep_fixed_fanout(benchmark, meanshift_model):
+    """Fixed fan-out 8, depth grows with scale: time ~ leaf + depth x const."""
+
+    def run() -> SeriesTable:
+        table = SeriesTable(
+            "leaves",
+            ["depth", "time", "minus_leaf"],
+            title=f"Open question — fixed fan-out {FANOUT}, growing depth",
+        )
+        for n in SCALES:
+            topo = deep_topology(n, FANOUT)
+            t = meanshift_sim(topo, meanshift_model).run().completion_time
+            table.add_row(n, [topo.depth(), t, t - meanshift_model.leaf_time])
+        return table
+
+    table = benchmark(run)
+    emit(table)
+    times = table.series("time")
+    depths = table.series("depth")
+    overhead = [t - meanshift_model.leaf_time for t in times]
+    # Not constant (each level adds a merge)...
+    assert times[-1] > times[0]
+    # ...but the per-level overhead is: overhead/depth stays flat within 2x
+    per_level = [o / d for o, d in zip(overhead, depths)]
+    assert max(per_level) < 2 * min(per_level)
+    # and the 64x scale-up costs well under 2x in total time.
+    assert times[-1] < 2 * times[0]
+
+
+@pytest.mark.parametrize("n", [1024, 4096])
+def test_deeper_beats_wider_at_scale(benchmark, meanshift_model, n):
+    """At large scale, a depth-3+ bounded-fan-out tree beats the 2-deep
+    sqrt(N)-fan-out tree the paper measured — answering the question in
+    the affirmative direction."""
+    f2 = max(2, math.ceil(math.sqrt(n)))
+
+    def run_pair():
+        t_2deep = (
+            meanshift_sim(deep_topology(n, f2), meanshift_model).run().completion_time
+        )
+        t_deeper = (
+            meanshift_sim(deep_topology(n, FANOUT), meanshift_model)
+            .run()
+            .completion_time
+        )
+        return t_2deep, t_deeper
+
+    t_2deep, t_deeper = benchmark(run_pair)
+    print(
+        f"\n{n} leaves: 2-deep (fan-out {f2}) {t_2deep:.2f}s vs "
+        f"bounded fan-out {FANOUT} {t_deeper:.2f}s"
+    )
+    assert t_deeper < t_2deep

@@ -1,0 +1,46 @@
+"""Experiment **T-throughput** — front-end aggregation load (§2.2 prose).
+
+Paper: "For data aggregation of a moderate flow (performance data of 32
+functions), the front-end in Paradyn's original one-to-many architecture
+could not process data at the rate it was being produced by more than 32
+daemons.  Using MRNet, the front-end easily processed the loads offered
+by 512 daemons."
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import run_throughput_table
+from repro.simulate.workload import paradyn_report_stream
+from conftest import emit
+
+
+def test_throughput_table(benchmark):
+    table = benchmark(run_throughput_table, (16, 32, 48, 64, 128, 256, 512), 5.0)
+    emit(table)
+    rows = {x: vals for x, vals in table.rows}
+    assert not rows[32][1], "one-to-many keeps up through 32 daemons"
+    assert rows[48][1], "one-to-many fails beyond 32 daemons"
+    assert not rows[512][3], "the tree easily handles 512 daemons"
+
+
+@pytest.mark.parametrize("n_daemons", [32, 512])
+def test_flat_frontend_utilization_scales_linearly(benchmark, n_daemons):
+    run = lambda: paradyn_report_stream(
+        n_daemons, aggregate=False, duration=5.0
+    ).run()
+    rep = benchmark(run)
+    print(f"\nflat n={n_daemons}: util {rep.frontend_utilization:.3f}")
+    if n_daemons <= 32:
+        assert not rep.saturated
+    else:
+        assert rep.saturated
+
+
+def test_tree_frontend_unloaded_at_512(benchmark):
+    run = lambda: paradyn_report_stream(512, aggregate=True, duration=5.0).run()
+    rep = benchmark(run)
+    print(f"\ntree n=512: util {rep.frontend_utilization:.3f}, backlog {rep.frontend_backlog:.3f}s")
+    assert rep.frontend_utilization < 0.2
+    assert rep.delivered_waves > 0

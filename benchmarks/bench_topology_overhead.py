@@ -1,0 +1,36 @@
+"""Experiment **T-nodecost** — internal-node overhead of deep trees (§3.2).
+
+Paper: "with a fan-out of 16, 16 (6.25% more) internal nodes are needed
+to connect 256 back-ends, or 272 (6.6%) for 4096 back-ends."
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import run_nodecost_table
+from repro.core.topology import deep_topology, internal_node_overhead
+from conftest import emit
+
+
+def test_nodecost_table(benchmark):
+    table = benchmark(run_nodecost_table)
+    emit(table)
+    rows = {x: vals for x, vals in table.rows}
+    assert rows[256] == [16, 6.25]
+    assert rows[4096][0] == 272
+
+
+@pytest.mark.parametrize("n_backends", [256, 4096])
+def test_overhead_function_speed(benchmark, n_backends):
+    extra, frac = benchmark(internal_node_overhead, 16, n_backends)
+    assert extra in (16, 272)
+
+
+def test_topology_construction_4096(benchmark):
+    """Building the 4096-back-end fan-out-16 tree itself is cheap."""
+    topo = benchmark(deep_topology, 4096, 16)
+    assert topo.n_backends == 4096
+    assert topo.max_fanout <= 16
+    # The builder's real tree matches the analytic accounting.
+    assert topo.n_internal == 272

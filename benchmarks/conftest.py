@@ -1,0 +1,33 @@
+"""Benchmark-suite fixtures: one real calibration per session.
+
+Run with ``pytest benchmarks/ --benchmark-only``.  Every bench prints
+the table it reproduces (visible with ``-s``; EXPERIMENTS.md records the
+values) and asserts the paper's shape criteria from DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.cluster  # noqa: F401 - register filters
+import repro.filters_ext  # noqa: F401
+from repro.simulate.calibrate import MeanShiftCostModel, calibrate_mean_shift
+from repro.tools.profiler import calibrate_parse_cost
+
+
+@pytest.fixture(scope="session")
+def meanshift_model() -> MeanShiftCostModel:
+    """Calibrate the mean-shift cost model from the real kernel once."""
+    return calibrate_mean_shift()
+
+
+@pytest.fixture(scope="session")
+def parse_cost() -> float:
+    """Measured symbol-table parse cost (seconds/byte) on this machine."""
+    return calibrate_parse_cost()
+
+
+def emit(table) -> None:
+    """Print a result table under the bench output."""
+    print()
+    print(table.render(lambda v: f"{v:.4g}" if isinstance(v, float) else str(v)))

@@ -1,0 +1,72 @@
+"""A Ganglia/Supermon-style cluster monitor on a TBON (Section 2.3).
+
+Monitors 27 synthetic hosts through a 3-level tree using three
+concurrent overlapping streams (min / max / avg aggregations of the
+same samples) plus an adaptive histogram of the CPU distribution.
+
+Run:  python examples/cluster_monitor.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro.filters_ext  # registers histogram filters
+from repro import FIRST_APPLICATION_TAG, Network, balanced_topology
+from repro.filters_ext.histogram import ADAPTIVE_HISTOGRAM_FMT, sketch_values
+from repro.tools.monitor import ClusterMonitor
+
+TAG = FIRST_APPLICATION_TAG
+
+
+def main() -> None:
+    topo = balanced_topology(3, 3)  # 27 hosts, 2 aggregation levels
+    print(f"monitoring {topo.n_backends} hosts through {topo.n_internal} "
+          f"aggregator nodes (depth {topo.depth()})")
+
+    with Network(topo) as net:
+        monitor = ClusterMonitor(net, sync_window=1.0)
+        print("\nper-metric cluster aggregates (3 snapshots):")
+        header = f"{'metric':>10} {'min':>10} {'avg':>10} {'max':>10}"
+        for i in range(3):
+            snap = monitor.snapshot(timeout=15)
+            print(f"-- snapshot {i + 1} " + "-" * 33)
+            print(header)
+            for metric, agg in snap.as_dict().items():
+                print(
+                    f"{metric:>10} {agg['min']:>10.1f} {agg['avg']:>10.1f} "
+                    f"{agg['max']:>10.1f}"
+                )
+        monitor.close()
+
+        # Histogram of per-host CPU over one sampling round: leaves send
+        # equi-width sketches; the tree re-bins onto the union range.
+        s_hist = net.new_stream(
+            transform="adaptive_histogram",
+            sync="wait_for_all",
+            transform_params={"n_bins": 16},
+        )
+
+        def leaf(be):
+            be.wait_for_stream(s_hist.stream_id)
+            rng = np.random.default_rng(be.rank)
+            cpu_samples = rng.uniform(5, 95, size=20)
+            be.send(
+                s_hist.stream_id, TAG, ADAPTIVE_HISTOGRAM_FMT,
+                *sketch_values(cpu_samples, 16),
+            )
+
+        net.run_backends(leaf)
+        lo, hi, counts = s_hist.recv(timeout=15).values
+        s_hist.close()
+        print(f"\ncluster CPU histogram ({int(counts.sum())} samples, "
+              f"range {lo:.0f}-{hi:.0f}%):")
+        peak = counts.max()
+        width = (hi - lo) / len(counts)
+        for i, c in enumerate(counts):
+            bar = "#" * int(40 * c / peak)
+            print(f"  {lo + i * width:5.1f}-{lo + (i + 1) * width:5.1f}%  {bar} {c}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+"""The paper's case study: distributed mean-shift clustering (Section 3).
+
+1. Generates the synthetic workload (Gaussian clusters, per-leaf
+   shifted centers) exactly as Section 3.1 describes.
+2. Runs the single-node mean-shift on the union.
+3. Runs the distributed version over a real in-process TBON (leaves run
+   the local search, the ``mean_shift`` filter merges up the tree) and
+   compares the peaks.
+4. Reproduces a compact Figure-4 sweep on the calibrated simulator.
+
+Run:  python examples/distributed_meanshift.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro import FIRST_APPLICATION_TAG, Network, balanced_topology
+from repro.bench.harness import run_fig4
+from repro.bench.reporting import fmt_seconds
+from repro.cluster import (
+    ClusterSpec,
+    MEANSHIFT_FMT,
+    full_dataset,
+    leaf_dataset,
+    leaf_mean_shift,
+    mean_shift,
+)
+from repro.simulate.calibrate import calibrate_mean_shift
+
+TAG = FIRST_APPLICATION_TAG
+
+
+def main() -> None:
+    spec = ClusterSpec()
+    n_leaves = 9
+    print(f"workload: {len(spec.centers)} true modes, "
+          f"{spec.points_per_cluster} pts/cluster/leaf, {n_leaves} leaves")
+
+    # --- single node -----------------------------------------------------
+    data = full_dataset(n_leaves, spec, seed=42)
+    t0 = time.perf_counter()
+    single = mean_shift(data)  # the paper's fixed bandwidth of 50
+    t_single = time.perf_counter() - t0
+    print(f"\nsingle node: {len(data)} points -> {len(single.peaks)} peaks "
+          f"in {t_single:.2f}s ({single.iterations} search iterations)")
+
+    # --- distributed over a 3x3 tree ---------------------------------------
+    topo = balanced_topology(3, 2)
+    with Network(topo) as net:
+        s = net.new_stream(
+            transform="mean_shift",
+            sync="wait_for_all",
+            transform_params={"bandwidth": 50.0},
+        )
+        order = {r: i for i, r in enumerate(topo.backends)}
+
+        def leaf(be):
+            be.wait_for_stream(s.stream_id)
+            be.recv(timeout=30, stream_id=s.stream_id)  # start control msg
+            pts = leaf_dataset(order[be.rank], spec, seed=42)
+            d, w, pk, res = leaf_mean_shift(pts)
+            be.send(s.stream_id, TAG, MEANSHIFT_FMT, d, w, pk)
+
+        threads = net.run_backends(leaf, join=False)
+        t0 = time.perf_counter()
+        s.send(TAG, "%d", 0)  # the paper's measured phase starts here
+        pkt = s.recv(timeout=60)
+        t_dist = time.perf_counter() - t0
+        for t in threads:
+            t.join(30)
+        dist_data, dist_w, dist_peaks = pkt.values
+
+    print(f"distributed: {t_dist:.2f}s over a {topo.max_fanout}-ary depth-2 "
+          f"tree (speedup {t_single / t_dist:.1f}x)")
+    print(f"  reduced data at front-end: {len(dist_data)} weighted reps "
+          f"(total weight {dist_w.sum():.0f})")
+    print("\npeaks (single vs distributed):")
+    for sp, dp in zip(np.sort(single.peaks, axis=0), np.sort(dist_peaks, axis=0)):
+        print(f"  ({sp[0]:7.2f}, {sp[1]:7.2f})   ({dp[0]:7.2f}, {dp[1]:7.2f})")
+
+    # --- Figure 4 on the calibrated simulator --------------------------------
+    print("\ncalibrating the performance model from the real kernel...")
+    model = calibrate_mean_shift()
+    result = run_fig4(model, scales=(16, 64, 128, 324))
+    print()
+    print(result.table.render(fmt_seconds))
+    print("\n(see benchmarks/bench_fig4_meanshift.py for the full sweep "
+          "and shape assertions)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Automated performance diagnosis with sub-graph folding (SGFA, [24]).
+
+The scenario behind MRNet's thousand-node graph-folding results: every
+daemon runs a hypothesis search over its host's behaviour, producing a
+labelled search-history graph; the ``graph_fold`` filter collapses
+structurally identical graphs as they climb the tree, so the analyst
+reads one composite instead of N graphs — and the minority classes are
+the anomalies.
+
+Also shows a Supermon-style symbolic concentrator answering follow-up
+questions about the same cluster.
+
+Run:  python examples/performance_diagnosis.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import Network, balanced_topology
+from repro.tools.concentrator import Concentrator
+from repro.tools.consultant import PerformanceConsultant
+
+
+def main() -> None:
+    topo = balanced_topology(3, 3)  # 27 hosts
+    print(f"diagnosing {topo.n_backends} hosts "
+          f"({topo.n_internal} folding nodes)\n")
+
+    with Network(topo) as net:
+        # Two hosts behave badly; the rest compute happily.
+        profiles = {r: "cpu_solve" for r in topo.backends}
+        profiles[topo.backends[7]] = "io_checkpoint"
+        profiles[topo.backends[19]] = "sync_exchange"
+        pc = PerformanceConsultant(net, profile_of=profiles)
+
+        report = pc.diagnose()
+        print(f"search graphs folded from {report.n_hosts} hosts into "
+              f"{len(report.composite)} composite nodes")
+        print("\nfindings (hypothesis path -> hosts):")
+        for path, (n, hosts) in sorted(report.findings.items(), key=lambda kv: -kv[1][0]):
+            example = ", ".join(hosts[:3]) + ("..." if n > 3 else "")
+            print(f"  [{n:2d}] {path}   ({example})")
+        print("\nanomalies (minority behaviours):")
+        for path, (n, hosts) in report.anomalies().items():
+            print(f"  !! {path} on {hosts}")
+
+        # Follow-up questions via a symbolic concentrator.
+        def sampler(rank: int, wave: int) -> list[float]:
+            h = pc.hosts[rank]
+            return [h.metric("cpu"), h.metric("io")]
+
+        conc = Concentrator(net, ["cpu", "io"], sampler)
+        for expr in ("(avg cpu)", "(max io)", "(if (> (max io) 0.5) 1 0)"):
+            value, n = conc.evaluate(expr)
+            print(f"\nconcentrate> {expr}\n  = {value:.3f}  over {n} hosts")
+
+
+if __name__ == "__main__":
+    main()

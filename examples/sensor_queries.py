@@ -1,0 +1,41 @@
+"""TAG-style declarative queries over a TBON sensor network (Section 2.3).
+
+A 27-node "sensor network" answers SQL-ish aggregation queries: the
+WHERE clause filters at the leaves (in-network selection), aggregates
+reduce in-flight, and EPOCH streams repeated rounds — TAG's model
+mapped onto the MRNet-style middleware.
+
+Run:  python examples/sensor_queries.py
+"""
+
+from __future__ import annotations
+
+from repro import Network, balanced_topology
+from repro.tools.tag import TagService
+
+
+QUERIES = [
+    "SELECT min(temp), avg(temp), max(temp) FROM sensors",
+    "SELECT count(cpu), avg(cpu) FROM sensors WHERE cpu > 75",
+    "SELECT max(mem) FROM sensors WHERE temp < 40 EPOCH 3",
+]
+
+
+def main() -> None:
+    topo = balanced_topology(3, 3)
+    print(f"sensor network: {topo.n_backends} nodes, "
+          f"{topo.n_internal} in-network aggregators\n")
+    with Network(topo) as net:
+        svc = TagService(net)
+        for sql in QUERIES:
+            print(f"tag> {sql}")
+            for res in svc.execute(sql):
+                cells = ", ".join(
+                    f"{k} = {v:.2f}" for k, v in sorted(res.values.items())
+                )
+                print(f"  epoch {res.epoch}: {cells}   [{res.n_rows} rows]")
+            print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,108 @@
+"""Distributed information extraction (the paper's data-mining domains).
+
+Section 2.3 motivates TBONs for "data mining or information extraction,
+the process of distilling specific facts from large quantities of data"
+— Internet retrieval, business intelligence, digital collections.  This
+example mines a sharded document corpus with the Figure-2 equivalence-
+class computation: every leaf classifies its documents' terms, the tree
+unions the classes, and the front-end reads off corpus-wide term
+statistics — plus an adaptive histogram of document lengths from the
+same pass.
+
+Run:  python examples/text_mining.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro.filters_ext  # registers equivalence + histogram filters
+from repro import FIRST_APPLICATION_TAG, Network, balanced_topology
+from repro.filters_ext.equivalence import EQUIVALENCE_FMT, EquivalenceClasses
+from repro.filters_ext.histogram import ADAPTIVE_HISTOGRAM_FMT, sketch_values
+
+TAG = FIRST_APPLICATION_TAG
+
+_COMMON = ("system data node network tree time run process result set "
+           "model scale value test case").split()
+_TOPICS = {
+    0: "cluster filter reduction multicast overlay".split(),
+    1: "genome protein sequence alignment sample".split(),
+    2: "market price trade revenue forecast".split(),
+}
+
+
+def make_shard(shard: int, n_docs: int = 40, seed: int = 0) -> list[str]:
+    """Synthetic documents: common vocabulary + a per-shard topic."""
+    rng = np.random.default_rng(np.random.SeedSequence([seed, shard]))
+    topic = _TOPICS[shard % len(_TOPICS)]
+    docs = []
+    for _ in range(n_docs):
+        n_words = int(rng.integers(20, 120))
+        words = rng.choice(_COMMON, size=n_words).tolist()
+        words += rng.choice(topic, size=max(1, n_words // 4)).tolist()
+        rng.shuffle(words)
+        docs.append(" ".join(words))
+    return docs
+
+
+def main() -> None:
+    topo = balanced_topology(3, 2)
+    print(f"mining {topo.n_backends} document shards through "
+          f"{topo.n_internal} aggregators\n")
+
+    with Network(topo) as net:
+        s_terms = net.new_stream(
+            transform="equivalence",
+            sync="wait_for_all",
+            transform_params={"max_members_per_class": 4},
+        )
+        s_lens = net.new_stream(
+            transform="adaptive_histogram",
+            sync="wait_for_all",
+            transform_params={"n_bins": 12},
+        )
+        order = {r: i for i, r in enumerate(topo.backends)}
+
+        def miner(be):
+            be.wait_for_stream(s_terms.stream_id)
+            be.wait_for_stream(s_lens.stream_id)
+            docs = make_shard(order[be.rank])
+            # Figure 2: classify elements (term occurrences) into the
+            # classes they represent (the terms), counting members.
+            ec = EquivalenceClasses()
+            for d, doc in enumerate(docs):
+                for word in doc.split():
+                    ec.add(word, f"s{be.rank}d{d}")
+            be.send(s_terms.stream_id, TAG, EQUIVALENCE_FMT, *ec.to_payload())
+            lengths = np.array([float(len(d.split())) for d in docs])
+            be.send(s_lens.stream_id, TAG, ADAPTIVE_HISTOGRAM_FMT,
+                    *sketch_values(lengths, 12))
+
+        net.run_backends(miner)
+        terms = EquivalenceClasses.from_payload(*s_terms.recv(timeout=30).values)
+        lo, hi, counts = s_lens.recv(timeout=30).values
+        s_terms.close()
+        s_lens.close()
+
+    print(f"corpus vocabulary: {terms.n_classes} distinct terms, "
+          f"{terms.total_count} occurrences")
+    top = sorted(terms.counts.items(), key=lambda kv: -kv[1])[:8]
+    print("top terms:")
+    for word, count in top:
+        print(f"  {word:<10} {count:>6}")
+    topic_terms = [w for ws in _TOPICS.values() for w in ws]
+    seen_topics = [w for w in topic_terms if w in terms.counts]
+    print(f"\ntopic terms surfaced from all shards: "
+          f"{len(seen_topics)}/{len(topic_terms)}")
+    print(f"\ndocument length histogram ({int(counts.sum())} docs, "
+          f"{lo:.0f}-{hi:.0f} words):")
+    peak = counts.max()
+    width = (hi - lo) / len(counts)
+    for i, c in enumerate(counts):
+        bar = "#" * int(30 * c / max(1, peak))
+        print(f"  {lo + i * width:5.0f}-{lo + (i + 1) * width:5.0f}  {bar} {c}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""repro — Tree-Based Overlay Networks for Scalable Applications.
+
+A production-quality Python reproduction of Arnold, Pack & Miller,
+"Tree-based Overlay Networks for Scalable Applications" (IPPS 2006):
+an MRNet-style TBON middleware (:mod:`repro.core`,
+:mod:`repro.transport`), a discrete-event performance simulator
+(:mod:`repro.simulate`), the paper's complex tool filters
+(:mod:`repro.filters_ext`), the distributed mean-shift case study
+(:mod:`repro.cluster`), failure handling (:mod:`repro.reliability`),
+and tool-domain applications (:mod:`repro.tools`).
+
+Quickstart::
+
+    from repro import Network, balanced_topology, FIRST_APPLICATION_TAG
+
+    topo = balanced_topology(fanout=4, depth=2)   # 16 back-ends
+    with Network(topo) as net:
+        s = net.new_stream(transform="sum", sync="wait_for_all")
+
+        def leaf(be):
+            be.wait_for_stream(s.stream_id)
+            be.send(s.stream_id, FIRST_APPLICATION_TAG, "%d", be.rank)
+
+        net.run_backends(leaf)
+        print(s.recv(timeout=5.0).values[0])
+"""
+
+from .core import *  # noqa: F401,F403 — the core package curates __all__
+from .core import __all__ as _core_all
+
+__version__ = "1.0.0"
+__all__ = list(_core_all) + ["__version__"]

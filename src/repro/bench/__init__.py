@@ -1,0 +1,22 @@
+"""Benchmark harness: experiment drivers and table reporting."""
+
+from .harness import (
+    Fig4Result,
+    run_fig4,
+    run_logscale_table,
+    run_nodecost_table,
+    run_startup_table,
+    run_throughput_table,
+)
+from .reporting import SeriesTable, fmt_seconds
+
+__all__ = [
+    "Fig4Result",
+    "run_fig4",
+    "run_startup_table",
+    "run_throughput_table",
+    "run_nodecost_table",
+    "run_logscale_table",
+    "SeriesTable",
+    "fmt_seconds",
+]

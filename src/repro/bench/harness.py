@@ -1,0 +1,201 @@
+"""Shared experiment drivers for the benchmark suite.
+
+One function per experiment id from DESIGN.md's index; ``benchmarks/``
+wraps these in pytest-benchmark fixtures and asserts the shape criteria,
+and EXPERIMENTS.md records their printed tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.topology import flat_topology, internal_node_overhead
+from ..simulate.calibrate import MeanShiftCostModel
+from ..simulate.simnet import SimCosts
+from ..simulate.workload import (
+    FIG4_SCALES,
+    meanshift_deep_topology,
+    meanshift_sim,
+    paradyn_report_stream,
+)
+from ..tools.profiler import simulate_startup
+from .reporting import SeriesTable, fmt_seconds
+
+__all__ = [
+    "run_fig4",
+    "run_startup_table",
+    "run_throughput_table",
+    "run_nodecost_table",
+    "run_logscale_table",
+    "Fig4Result",
+]
+
+
+@dataclass
+class Fig4Result:
+    """Figure 4 reproduction: times per scale for the three series."""
+
+    table: SeriesTable
+    single: list[float]
+    flat: list[float]
+    deep: list[float]
+
+    def check_shape(self) -> list[str]:
+        """Verify the paper's qualitative claims; returns violations."""
+        xs = np.asarray(self.table.xs(), dtype=float)
+        single = np.asarray(self.single)
+        flat = np.asarray(self.flat)
+        deep = np.asarray(self.deep)
+        problems = []
+        # Single-node series is linear in scale (R^2 > 0.99).
+        coeffs = np.polyfit(xs, single, 1)
+        resid = single - np.polyval(coeffs, xs)
+        r2 = 1 - resid.var() / single.var()
+        if r2 < 0.99:
+            problems.append(f"single-node series not linear (R^2={r2:.3f})")
+        # Distribution beats the single node everywhere.
+        if not np.all(flat < single):
+            problems.append("flat tree does not beat single node everywhere")
+        if not np.all(deep < single):
+            problems.append("deep tree does not beat single node everywhere")
+        # Flat bottleneck emerges between 64 and 128 leaves.
+        i64 = list(xs).index(64)
+        if flat[-1] < 3 * flat[i64]:
+            problems.append(
+                f"flat front-end bottleneck missing "
+                f"(t(324)={flat[-1]:.2f} < 3*t(64)={3 * flat[i64]:.2f})"
+            )
+        # Deep trees stay near-constant through 64 leaves...
+        if max(deep[: i64 + 1]) > 2 * min(deep[: i64 + 1]):
+            problems.append("deep-tree series not near-constant through 64")
+        # ...and beat flat at scale >= 128.
+        if not np.all(deep[i64 + 1 :] < flat[i64 + 1 :]):
+            problems.append("deep tree does not beat flat beyond 64 leaves")
+        return problems
+
+
+def run_fig4(
+    model: MeanShiftCostModel,
+    scales: tuple[int, ...] = FIG4_SCALES,
+    costs: SimCosts | None = None,
+) -> Fig4Result:
+    """Experiment **Fig. 4**: mean-shift times for single/flat/deep."""
+    table = SeriesTable(
+        "scale", ["single", "flat", "deep"], title="Fig. 4 — mean-shift processing times"
+    )
+    single, flat, deep = [], [], []
+    for n in scales:
+        t_single = model.single_node_time(n)
+        t_flat = meanshift_sim(flat_topology(n), model, costs).run().completion_time
+        t_deep = (
+            meanshift_sim(meanshift_deep_topology(n), model, costs)
+            .run()
+            .completion_time
+        )
+        single.append(t_single)
+        flat.append(t_flat)
+        deep.append(t_deep)
+        table.add_row(n, [t_single, t_flat, t_deep])
+    return Fig4Result(table=table, single=single, flat=flat, deep=deep)
+
+
+def run_startup_table(
+    parse_cost_per_byte: float | None = None,
+    daemon_counts: tuple[int, ...] = (32, 128, 512),
+) -> SeriesTable:
+    """Experiment **T-startup**: Paradyn startup, one-to-many vs tree."""
+    table = SeriesTable(
+        "daemons",
+        ["one_to_many", "tbon", "speedup"],
+        title="T-startup — tool startup time (s)",
+    )
+    for n in daemon_counts:
+        one = simulate_startup(
+            n, aggregate=False, parse_cost_per_byte=parse_cost_per_byte
+        ).total_time
+        tree = simulate_startup(
+            n, aggregate=True, parse_cost_per_byte=parse_cost_per_byte
+        ).total_time
+        table.add_row(n, [one, tree, one / tree])
+    return table
+
+
+def run_throughput_table(
+    daemon_counts: tuple[int, ...] = (16, 32, 64, 128, 256, 512),
+    duration: float = 10.0,
+) -> SeriesTable:
+    """Experiment **T-throughput**: front-end saturation vs daemon count."""
+    table = SeriesTable(
+        "daemons",
+        ["flat_util", "flat_saturated", "tree_util", "tree_saturated"],
+        title="T-throughput — front-end load under continuous reports",
+    )
+    for n in daemon_counts:
+        flat = paradyn_report_stream(n, aggregate=False, duration=duration).run()
+        tree = paradyn_report_stream(n, aggregate=True, duration=duration).run()
+        table.add_row(
+            n,
+            [
+                round(flat.frontend_utilization, 3),
+                flat.saturated,
+                round(tree.frontend_utilization, 3),
+                tree.saturated,
+            ],
+        )
+    return table
+
+
+def run_nodecost_table(
+    fanout: int = 16,
+    backend_counts: tuple[int, ...] = (16, 256, 1024, 4096),
+) -> SeriesTable:
+    """Experiment **T-nodecost**: internal-node overhead of deep trees."""
+    table = SeriesTable(
+        "backends",
+        ["internal_nodes", "overhead_pct"],
+        title=f"T-nodecost — internal nodes at fan-out {fanout}",
+    )
+    for n in backend_counts:
+        extra, frac = internal_node_overhead(fanout, n)
+        table.add_row(n, [extra, round(100 * frac, 2)])
+    return table
+
+
+def run_logscale_table(
+    sizes: tuple[int, ...] = (16, 64, 256, 1024, 4096),
+    fanout: int = 16,
+    costs: SimCosts | None = None,
+) -> SeriesTable:
+    """Experiment **A-logscale**: reduction latency, flat vs bounded fan-out.
+
+    A fixed tiny per-leaf payload isolates communication/consolidation
+    cost: flat grows linearly in N (serial front-end ingest), trees grow
+    with depth × fan-out ~ log N.
+    """
+    from ..core.topology import deep_topology
+    from ..simulate.simnet import SimTBON, WaveMessage
+
+    costs = costs or SimCosts()
+    payload = 1024.0
+
+    def leaf_fn(rank: int):
+        return 0.0, WaveMessage(nbytes=payload, meta=1)
+
+    def merge_fn(rank: int, msgs):
+        # A trivial (constant-per-message) reduction.
+        return 2e-6 * len(msgs), WaveMessage(nbytes=payload, meta=sum(m.meta for m in msgs))
+
+    table = SeriesTable(
+        "n", ["flat", "tree", "ratio"], title="A-logscale — tiny-payload reduction latency"
+    )
+    for n in sizes:
+        t_flat = SimTBON(flat_topology(n), costs, leaf_fn, merge_fn).run().completion_time
+        t_tree = (
+            SimTBON(deep_topology(n, fanout), costs, leaf_fn, merge_fn)
+            .run()
+            .completion_time
+        )
+        table.add_row(n, [t_flat, t_tree, round(t_flat / t_tree, 2)])
+    return table

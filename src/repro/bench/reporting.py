@@ -1,0 +1,78 @@
+"""Tabular reporting for benchmark harnesses.
+
+The paper reports one figure and several in-prose numbers; every bench
+in ``benchmarks/`` prints its reproduction as an aligned table (rows =
+x-axis points, columns = series) so EXPERIMENTS.md can quote
+paper-vs-measured side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+__all__ = ["SeriesTable", "fmt_seconds"]
+
+
+def fmt_seconds(v: float) -> str:
+    """Human-scaled seconds (``123 ms``, ``4.56 s``...)."""
+    if v != v:  # NaN
+        return "-"
+    if v < 1e-3:
+        return f"{v * 1e6:.1f} us"
+    if v < 1.0:
+        return f"{v * 1e3:.1f} ms"
+    return f"{v:.2f} s"
+
+
+@dataclass
+class SeriesTable:
+    """An x-axis plus named series, printable as an aligned table.
+
+    Example::
+
+        t = SeriesTable("scale", ["single", "flat", "deep"])
+        t.add_row(16, [5.6, 0.43, 0.37])
+        print(t.render(value_fmt=fmt_seconds))
+    """
+
+    x_name: str
+    series_names: Sequence[str]
+    rows: list[tuple[Any, list[Any]]] = field(default_factory=list)
+    title: str = ""
+
+    def add_row(self, x: Any, values: Sequence[Any]) -> None:
+        if len(values) != len(self.series_names):
+            raise ValueError(
+                f"expected {len(self.series_names)} values, got {len(values)}"
+            )
+        self.rows.append((x, list(values)))
+
+    def series(self, name: str) -> list[Any]:
+        """One series' values, in row order."""
+        idx = list(self.series_names).index(name)
+        return [vals[idx] for _x, vals in self.rows]
+
+    def xs(self) -> list[Any]:
+        return [x for x, _vals in self.rows]
+
+    def render(self, value_fmt=str) -> str:
+        header = [self.x_name, *self.series_names]
+        body = [
+            [str(x)] + [value_fmt(v) for v in vals] for x, vals in self.rows
+        ]
+        widths = [
+            max(len(row[i]) for row in [header] + body)
+            for i in range(len(header))
+        ]
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append("  ".join(h.rjust(w) for h, w in zip(header, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in body:
+            lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,60 @@
+"""Data-clustering algorithms: the paper's case study and Figure-2 kin.
+
+* :mod:`repro.cluster.meanshift` — the single-node mean-shift kernel
+  (Section 3.1);
+* :mod:`repro.cluster.meanshift_filter` — its distributed TBON form;
+* :mod:`repro.cluster.kmeans` — distributed k-means (the partitioning
+  clusterer of Section 2.3);
+* :mod:`repro.cluster.agglomerative` — distributed agglomerative
+  clustering (the agglomeration clusterer of Section 2.3);
+* :mod:`repro.cluster.datagen` — the synthetic Gaussian workloads.
+
+Importing this package registers the ``mean_shift`` and
+``agglomerative`` filters with the default registry.
+"""
+
+from .agglomerative import (
+    AGGLOMERATIVE_FMT,
+    AgglomerativeFilter,
+    ClusterSummary,
+    agglomerate,
+    summarize_points,
+)
+from .datagen import ClusterSpec, full_dataset, leaf_dataset, make_clusters
+from .kmeans import KMeansResult, assign, distributed_kmeans, kmeans
+from .meanshift import (
+    KERNELS,
+    MeanShiftResult,
+    assign_labels,
+    density_starts,
+    mean_shift,
+    mean_shift_search,
+    merge_peaks,
+)
+from .meanshift_filter import MEANSHIFT_FMT, MeanShiftFilter, leaf_mean_shift
+
+__all__ = [
+    "KERNELS",
+    "MeanShiftResult",
+    "mean_shift",
+    "mean_shift_search",
+    "density_starts",
+    "merge_peaks",
+    "assign_labels",
+    "MeanShiftFilter",
+    "leaf_mean_shift",
+    "MEANSHIFT_FMT",
+    "KMeansResult",
+    "kmeans",
+    "assign",
+    "distributed_kmeans",
+    "ClusterSummary",
+    "agglomerate",
+    "summarize_points",
+    "AgglomerativeFilter",
+    "AGGLOMERATIVE_FMT",
+    "ClusterSpec",
+    "make_clusters",
+    "leaf_dataset",
+    "full_dataset",
+]

@@ -1,0 +1,143 @@
+"""Agglomerative (hierarchical) clustering, single-node and as a filter.
+
+Section 2.3: "In agglomerative clustering [15], a data set with N
+elements is initially partitioned into N clusters each containing a
+single element.  Larger clusters are formed by iteratively merging
+nearest-neighbor clusters."  The TBON mapping (Figure 2) reduces this to
+an equivalence-class filter: leaves summarize local points into weighted
+cluster summaries; internal nodes merge their children's summaries and
+re-agglomerate, so the output has the same *form* as the input — the
+defining property of a TBON-friendly data reduction.
+
+Cluster summaries are ``(centroid, weight)`` pairs; merging two
+summaries produces the weighted centroid of their union, which keeps
+the reduction exact for centroid positions (centroid linkage on
+summaries approximates centroid linkage on raw points — the standard
+trade-off in distributed agglomeration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core.errors import TBONError
+from ..core.filter_registry import register_transform
+from ..core.filters import FilterContext, TransformationFilter
+from ..core.packet import Packet
+
+__all__ = [
+    "ClusterSummary",
+    "agglomerate",
+    "summarize_points",
+    "AgglomerativeFilter",
+    "AGGLOMERATIVE_FMT",
+]
+
+#: Packet format: centroid matrix (k, 2) + weights vector (k,).
+AGGLOMERATIVE_FMT = "%am %af"
+
+
+@dataclass
+class ClusterSummary:
+    """Weighted cluster summaries: (k, d) centroids and (k,) weights."""
+
+    centroids: np.ndarray
+    weights: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.centroids = np.asarray(self.centroids, dtype=np.float64).reshape(
+            -1, self.centroids.shape[-1] if np.ndim(self.centroids) > 1 else 2
+        )
+        self.weights = np.asarray(self.weights, dtype=np.float64).ravel()
+        if len(self.centroids) != len(self.weights):
+            raise TBONError(
+                f"{len(self.centroids)} centroids vs {len(self.weights)} weights"
+            )
+
+    @property
+    def k(self) -> int:
+        return len(self.weights)
+
+
+def agglomerate(summary: ClusterSummary, merge_distance: float) -> ClusterSummary:
+    """Merge nearest clusters until all pairs are ``merge_distance`` apart.
+
+    Classic greedy nearest-neighbor agglomeration with centroid linkage:
+    repeatedly merge the closest pair while its distance is below the
+    threshold; the merged centroid is the weight-weighted mean.
+    """
+    cents = summary.centroids.copy()
+    wts = summary.weights.copy()
+    if len(cents) <= 1:
+        return ClusterSummary(cents, wts)
+    alive = np.ones(len(cents), dtype=bool)
+    while alive.sum() > 1:
+        idx = np.nonzero(alive)[0]
+        sub = cents[idx]
+        d = np.linalg.norm(sub[:, None, :] - sub[None, :, :], axis=2)
+        np.fill_diagonal(d, np.inf)
+        flat = d.argmin()
+        i, j = np.unravel_index(flat, d.shape)
+        if d[i, j] >= merge_distance:
+            break
+        a, b = idx[i], idx[j]
+        total = wts[a] + wts[b]
+        cents[a] = (cents[a] * wts[a] + cents[b] * wts[b]) / total
+        wts[a] = total
+        alive[b] = False
+    return ClusterSummary(cents[alive], wts[alive])
+
+
+def summarize_points(
+    points: np.ndarray, merge_distance: float
+) -> ClusterSummary:
+    """Leaf step: every point starts as its own weight-1 cluster.
+
+    For large inputs a grid pre-pass bins points into cells of size
+    ``merge_distance`` first (same result regime, avoids the O(n²) pair
+    scan on raw points).
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    if pts.ndim != 2:
+        raise TBONError(f"expected (n, d) points, got {pts.shape}")
+    if len(pts) > 256:
+        # Grid pre-aggregation: points sharing a cell merge immediately.
+        cells = np.floor(pts / merge_distance).astype(np.int64)
+        order = np.lexsort(tuple(cells[:, c] for c in range(cells.shape[1] - 1, -1, -1)))
+        sc, sp = cells[order], pts[order]
+        boundaries = np.any(np.diff(sc, axis=0) != 0, axis=1)
+        starts = np.concatenate(([0], np.nonzero(boundaries)[0] + 1, [len(sp)]))
+        cents = np.array([sp[a:b].mean(axis=0) for a, b in zip(starts[:-1], starts[1:])])
+        wts = (starts[1:] - starts[:-1]).astype(np.float64)
+        summary = ClusterSummary(cents, wts)
+    else:
+        summary = ClusterSummary(pts, np.ones(len(pts)))
+    return agglomerate(summary, merge_distance)
+
+
+@register_transform("agglomerative")
+class AgglomerativeFilter(TransformationFilter):
+    """Equivalence-class merge of children's cluster summaries.
+
+    Parameters:
+        merge_distance: centroid-linkage threshold (required).
+    """
+
+    def __init__(self, **params):
+        super().__init__(**params)
+        if "merge_distance" not in params:
+            raise TBONError("agglomerative filter requires merge_distance")
+        self.merge_distance = float(params["merge_distance"])
+        self.waves = 0
+
+    def transform(self, packets: Sequence[Packet], ctx: FilterContext) -> Packet:
+        cents = np.concatenate([p.values[0] for p in packets], axis=0)
+        wts = np.concatenate([p.values[1] for p in packets], axis=0)
+        merged = agglomerate(ClusterSummary(cents, wts), self.merge_distance)
+        self.waves += 1
+        return packets[0].with_values(
+            [merged.centroids, merged.weights], fmt=AGGLOMERATIVE_FMT
+        )

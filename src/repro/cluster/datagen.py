@@ -1,0 +1,121 @@
+"""Synthetic feature-space data for the mean-shift case study.
+
+Section 3.1: "The data at the leaf nodes is synthetically generated.
+The data about each cluster center is generated using a random Gaussian
+distribution.  The cluster centers are slightly shifted in each leaf
+node as they might be in feature tracking in video processing or when
+processing images with non-uniform illumination."
+
+All generation is deterministic from an explicit seed (one
+:class:`numpy.random.Generator` per call), and a leaf's dataset depends
+only on ``(seed, leaf_index)`` so distributed and single-node runs can
+operate on exactly the same data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.errors import TBONError
+
+__all__ = ["ClusterSpec", "make_clusters", "leaf_dataset", "full_dataset"]
+
+#: Default cluster layout: well-separated modes in a 1000x1000 "image",
+#: scaled for the paper's bandwidth of 50.
+DEFAULT_CENTERS = np.array(
+    [[200.0, 200.0], [800.0, 250.0], [500.0, 700.0], [250.0, 820.0]]
+)
+DEFAULT_STD = 30.0
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Parameters of one synthetic feature-space workload.
+
+    Attributes:
+        centers: (k, 2) base cluster centers.
+        std: Gaussian standard deviation around each center.
+        points_per_cluster: samples drawn per cluster per leaf.
+        center_jitter: per-leaf shift scale applied to every center (the
+            paper's "slightly shifted in each leaf node").
+        noise_fraction: fraction of points drawn uniformly over the
+            bounding box (background clutter; 0 disables).
+    """
+
+    centers: np.ndarray = None  # type: ignore[assignment]
+    std: float = DEFAULT_STD
+    points_per_cluster: int = 500
+    center_jitter: float = 10.0
+    noise_fraction: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.centers is None:
+            object.__setattr__(self, "centers", DEFAULT_CENTERS.copy())
+        c = np.asarray(self.centers, dtype=np.float64)
+        if c.ndim != 2 or c.shape[1] != 2:
+            raise TBONError(f"centers must be (k, 2), got {c.shape}")
+        object.__setattr__(self, "centers", c)
+        if self.points_per_cluster < 1:
+            raise TBONError("points_per_cluster must be >= 1")
+        if not 0.0 <= self.noise_fraction < 1.0:
+            raise TBONError("noise_fraction must be in [0, 1)")
+
+
+def make_clusters(
+    centers: np.ndarray,
+    std: float,
+    points_per_cluster: int,
+    rng: np.random.Generator,
+    noise_fraction: float = 0.0,
+) -> np.ndarray:
+    """Draw Gaussian blobs (plus optional uniform clutter) around centers."""
+    centers = np.asarray(centers, dtype=np.float64)
+    blobs = [
+        rng.normal(loc=c, scale=std, size=(points_per_cluster, 2)) for c in centers
+    ]
+    pts = np.concatenate(blobs, axis=0)
+    if noise_fraction > 0:
+        n_noise = int(len(pts) * noise_fraction / (1 - noise_fraction))
+        lo = pts.min(axis=0) - 2 * std
+        hi = pts.max(axis=0) + 2 * std
+        noise = rng.uniform(lo, hi, size=(n_noise, 2))
+        pts = np.concatenate([pts, noise], axis=0)
+    return pts
+
+
+def leaf_dataset(
+    leaf_index: int, spec: ClusterSpec = ClusterSpec(), seed: int = 0
+) -> np.ndarray:
+    """The dataset generated *at* one leaf.
+
+    Deterministic in ``(seed, leaf_index)``; the cluster centers are
+    jittered per leaf with scale ``spec.center_jitter``, modelling an
+    array of cameras viewing slightly different scenes [28].
+    """
+    rng = np.random.default_rng(np.random.SeedSequence([seed, leaf_index]))
+    shifts = rng.normal(scale=spec.center_jitter, size=spec.centers.shape)
+    return make_clusters(
+        spec.centers + shifts,
+        spec.std,
+        spec.points_per_cluster,
+        rng,
+        spec.noise_fraction,
+    )
+
+
+def full_dataset(
+    n_leaves: int, spec: ClusterSpec = ClusterSpec(), seed: int = 0
+) -> np.ndarray:
+    """Union of all leaf datasets — the single-node workload.
+
+    The paper scales the problem with the leaf count ("the input size
+    scales with the number of back-ends"), so the single-node series at
+    scale factor *s* processes the concatenation of *s* leaf datasets.
+    """
+    if n_leaves < 1:
+        raise TBONError("n_leaves must be >= 1")
+    return np.concatenate(
+        [leaf_dataset(i, spec, seed) for i in range(n_leaves)], axis=0
+    )

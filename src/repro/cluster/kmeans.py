@@ -1,0 +1,193 @@
+"""K-means clustering, single-node and TBON-distributed.
+
+Section 2.3 maps partitioning clusterers onto the TBON equivalence-class
+filter computation (Figure 2): "K-means ... defines and iteratively
+refines k centroids, one for each cluster, associating each data point
+with its nearest centroid based on distance measures."
+
+The distributed form is the classic reduction: per Lloyd iteration each
+back-end assigns its local points to the current centroids and ships the
+per-centroid ``(sum, count)`` statistics upstream; the tree's ``sum``
+filter adds them level by level, and the front-end recomputes centroids
+and multicasts them back down.  The result is *bit-identical* to the
+single-node Lloyd iteration on the union of the leaf data — asserted by
+the test suite — because summation is associative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.errors import TBONError
+from ..core.events import FIRST_APPLICATION_TAG
+from ..core.network import Network
+
+__all__ = ["KMeansResult", "kmeans", "assign", "distributed_kmeans"]
+
+_TAG_CENTROIDS = FIRST_APPLICATION_TAG + 10
+_TAG_STATS = FIRST_APPLICATION_TAG + 11
+
+
+@dataclass
+class KMeansResult:
+    """Converged centroids plus iteration metadata."""
+
+    centroids: np.ndarray
+    iterations: int
+    inertia: float
+
+
+def assign(points: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+    """Index of the nearest centroid for every point."""
+    pts = np.asarray(points, dtype=np.float64)
+    cen = np.asarray(centroids, dtype=np.float64)
+    d = ((pts[:, None, :] - cen[None, :, :]) ** 2).sum(axis=2)
+    return d.argmin(axis=1)
+
+
+def _stats(points: np.ndarray, centroids: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Per-centroid coordinate sums and counts for one assignment pass."""
+    k = len(centroids)
+    labels = assign(points, centroids)
+    sums = np.zeros((k, points.shape[1]))
+    counts = np.zeros(k, dtype=np.int64)
+    np.add.at(sums, labels, points)
+    np.add.at(counts, labels, 1)
+    return sums, counts
+
+
+def _update(
+    centroids: np.ndarray, sums: np.ndarray, counts: np.ndarray
+) -> np.ndarray:
+    """New centroids from summed statistics (empty clusters keep position)."""
+    new = centroids.copy()
+    nonzero = counts > 0
+    new[nonzero] = sums[nonzero] / counts[nonzero, None]
+    return new
+
+
+def kmeans(
+    points: np.ndarray,
+    k: int,
+    *,
+    max_iter: int = 100,
+    tol: float = 1e-6,
+    seed: int = 0,
+    init: np.ndarray | None = None,
+) -> KMeansResult:
+    """Single-node Lloyd's algorithm [14, 20].
+
+    Initialization is a deterministic sample of ``k`` distinct points
+    (or an explicit ``init`` array so distributed runs can share it).
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    if pts.ndim != 2:
+        raise TBONError(f"kmeans expects (n, d) data, got shape {pts.shape}")
+    if not 1 <= k <= len(pts):
+        raise TBONError(f"k must be in [1, {len(pts)}], got {k}")
+    if init is None:
+        rng = np.random.default_rng(seed)
+        idx = rng.choice(len(pts), size=k, replace=False)
+        centroids = pts[idx].copy()
+    else:
+        centroids = np.asarray(init, dtype=np.float64).copy()
+        if centroids.shape != (k, pts.shape[1]):
+            raise TBONError(
+                f"init must be ({k}, {pts.shape[1]}), got {centroids.shape}"
+            )
+    iters = 0
+    for _ in range(max_iter):
+        iters += 1
+        sums, counts = _stats(pts, centroids)
+        new = _update(centroids, sums, counts)
+        delta = np.linalg.norm(new - centroids)
+        centroids = new
+        if delta < tol:
+            break
+    labels = assign(pts, centroids)
+    inertia = float(((pts - centroids[labels]) ** 2).sum())
+    return KMeansResult(centroids=centroids, iterations=iters, inertia=inertia)
+
+
+def distributed_kmeans(
+    net: Network,
+    leaf_points: dict[int, np.ndarray],
+    k: int,
+    init: np.ndarray,
+    *,
+    max_iter: int = 100,
+    tol: float = 1e-6,
+    timeout: float = 30.0,
+) -> KMeansResult:
+    """Lloyd's algorithm over a live TBON.
+
+    Args:
+        net: an instantiated network.
+        leaf_points: local data per back-end rank (every back-end of
+            ``net`` must be present).
+        k: cluster count.
+        init: (k, d) initial centroids (shared with the single-node run
+            for equivalence testing).
+        max_iter/tol: identical to :func:`kmeans`.
+        timeout: per-iteration receive timeout.
+
+    Protocol per iteration: the front-end multicasts the centroids
+    downstream; every back-end answers with flattened ``(sums, counts)``
+    on a ``sum``-filtered stream; the front-end updates and repeats.
+    """
+    dim = init.shape[1]
+    missing = [r for r in net.topology.backends if r not in leaf_points]
+    if missing:
+        raise TBONError(f"leaf_points missing back-end ranks {missing}")
+
+    stream = net.new_stream(transform="sum", sync="wait_for_all")
+
+    def leaf_loop(be) -> None:
+        be.wait_for_stream(stream.stream_id)
+        pts = np.asarray(leaf_points[be.rank], dtype=np.float64)
+        while True:
+            pkt = be.recv(timeout=timeout, stream_id=stream.stream_id)
+            if pkt.tag != _TAG_CENTROIDS:
+                continue
+            flat = pkt.values[0]
+            if flat.size == 0:  # termination signal
+                return
+            centroids = flat.reshape(k, dim)
+            sums, counts = _stats(pts, centroids)
+            be.send(
+                stream.stream_id,
+                _TAG_STATS,
+                "%af %ad",
+                sums.ravel(),
+                counts,
+            )
+
+    threads = net.run_backends(leaf_loop, join=False)
+    centroids = np.asarray(init, dtype=np.float64).copy()
+    iters = 0
+    try:
+        for _ in range(max_iter):
+            iters += 1
+            stream.send(_TAG_CENTROIDS, "%af", centroids.ravel())
+            pkt = stream.recv(timeout=timeout)
+            sums = pkt.values[0].reshape(k, dim)
+            counts = pkt.values[1]
+            new = _update(centroids, sums, counts)
+            delta = np.linalg.norm(new - centroids)
+            centroids = new
+            if delta < tol:
+                break
+    finally:
+        stream.send(_TAG_CENTROIDS, "%af", np.empty(0))  # release leaf loops
+        for t in threads:
+            t.join(timeout)
+        stream.close(timeout)
+
+    # Inertia over the union (computed at the front-end from leaf data
+    # the caller already holds; a production tool would reduce this too).
+    all_pts = np.concatenate([leaf_points[r] for r in net.topology.backends])
+    labels = assign(all_pts, centroids)
+    inertia = float(((all_pts - centroids[labels]) ** 2).sum())
+    return KMeansResult(centroids=centroids, iterations=iters, inertia=inertia)

@@ -1,0 +1,137 @@
+"""Distributed mean-shift as a TBON transformation filter.
+
+Section 3.1's distributed algorithm: "each leaf node gets a part of the
+data set.  Each node applies the mean shift procedure then sends the
+resulting data set and the list of peaks to the next higher node in the
+network.  Each parent node merges the data sets of its children and then
+applies the mean shift procedure to the new data set using the peaks
+determined by child nodes as the starting points."
+
+The "resulting data set" a node forwards is the mean-shift-*reduced*
+form of its input: after the shift the data has concentrated near the
+modes, so it is collapsed to weighted grid representatives
+(:func:`repro.cluster.meanshift.collapse_points`).  This is what makes
+mean-shift a TBON data reduction (output smaller than input) and what
+bounds an internal node's work by its fan-out rather than its subtree
+size — the property behind the paper's near-constant deep-tree times.
+Setting ``collapse_cell=0`` disables the reduction and forwards raw
+merged data (useful for studying the non-reducing variant).
+
+Packets on a mean-shift stream carry ``"%am %af %am"``: the data
+matrix (n, 2), per-point weights (n,), and the peak list (k, 2).
+:func:`leaf_mean_shift` produces a back-end's payload;
+:class:`MeanShiftFilter` is the parent-node merge, registered as
+``mean_shift`` (and loadable dynamically as
+``"repro.cluster.meanshift_filter:MeanShiftFilter"``).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core.filter_registry import register_transform
+from ..core.filters import FilterContext, TransformationFilter
+from ..core.packet import Packet
+from .meanshift import (
+    DEFAULT_BANDWIDTH,
+    MeanShiftResult,
+    collapse_points,
+    mean_shift,
+    merge_peaks,
+)
+
+__all__ = ["leaf_mean_shift", "MeanShiftFilter", "MEANSHIFT_FMT"]
+
+#: Stream packet format: data matrix, weights vector, peaks matrix.
+MEANSHIFT_FMT = "%am %af %am"
+
+
+def leaf_mean_shift(
+    points: np.ndarray,
+    bandwidth: float = DEFAULT_BANDWIDTH,
+    kernel: str = "gaussian",
+    density_threshold: float = 3.0,
+    collapse_cell: float | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, MeanShiftResult]:
+    """Run the local mean-shift step at a back-end.
+
+    Returns ``(data, weights, peaks, result)`` where the first three are
+    the upstream payload: the collapsed data set, its weights, and the
+    local peaks.  ``collapse_cell`` defaults to ``bandwidth / 2``; pass
+    ``0`` to forward the raw points with unit weights.
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    res = mean_shift(
+        pts,
+        bandwidth=bandwidth,
+        kernel=kernel,
+        density_threshold=density_threshold,
+    )
+    cell = bandwidth / 2 if collapse_cell is None else collapse_cell
+    if cell > 0:
+        data, weights = collapse_points(pts, cell=cell)
+    else:
+        data, weights = pts, np.ones(len(pts))
+    return data, weights, res.peaks, res
+
+
+@register_transform("mean_shift")
+class MeanShiftFilter(TransformationFilter):
+    """Parent-node merge step of the distributed mean-shift.
+
+    Parameters (via stream ``transform_params``):
+        bandwidth: window scale (default 50, the paper's choice).
+        kernel: shape function name (default ``"gaussian"``).
+        collapse_cell: grid resolution for the forwarded data set
+            (default ``bandwidth / 2``); ``0`` forwards raw merged data,
+            which makes upstream packets grow with subtree size — the
+            non-reducing variant whose front-end consolidation cost is
+            the flat-tree bottleneck.
+
+    Persistent state: cumulative iteration/work counters, exposed for
+    calibration and tests.
+    """
+
+    def __init__(self, **params):
+        super().__init__(**params)
+        self.bandwidth = float(params.get("bandwidth", DEFAULT_BANDWIDTH))
+        self.kernel = params.get("kernel", "gaussian")
+        cc = params.get("collapse_cell")
+        self.collapse_cell = self.bandwidth / 2 if cc is None else float(cc)
+        self.total_iterations = 0
+        self.total_point_iter = 0
+        self.waves = 0
+
+    def transform(self, packets: Sequence[Packet], ctx: FilterContext) -> Packet:
+        datasets = [p.values[0] for p in packets if len(p.values[0])]
+        weight_lists = [p.values[1] for p in packets if len(p.values[1])]
+        peak_lists = [p.values[2] for p in packets if len(p.values[2])]
+        merged_data = np.concatenate(datasets or [np.empty((0, 2))], axis=0)
+        merged_w = np.concatenate(weight_lists or [np.empty(0)], axis=0)
+        seed_peaks = np.concatenate(peak_lists or [np.empty((0, 2))], axis=0)
+
+        if len(seed_peaks) == 0 or len(merged_data) == 0:
+            out_peaks = merge_peaks(seed_peaks, radius=self.bandwidth / 2)
+        else:
+            res = mean_shift(
+                merged_data,
+                bandwidth=self.bandwidth,
+                kernel=self.kernel,
+                starts=seed_peaks,
+                weights=merged_w,
+            )
+            out_peaks = res.peaks
+            self.total_iterations += res.iterations
+            self.total_point_iter += res.point_iter_products
+        if self.collapse_cell > 0 and len(merged_data):
+            out_data, out_w = collapse_points(
+                merged_data, merged_w, cell=self.collapse_cell
+            )
+        else:
+            out_data, out_w = merged_data, merged_w
+        self.waves += 1
+        return packets[0].with_values(
+            [out_data, out_w, out_peaks], fmt=MEANSHIFT_FMT
+        )

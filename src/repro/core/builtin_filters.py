@@ -1,0 +1,268 @@
+"""MRNet's built-in transformation filters.
+
+"MRNet has built-in transformation filters for common aggregations
+including avg, sum, min, max and concat."  These filters are generic over
+packet formats: they combine packets *slot by slot*, so a packet format
+``"%d %af"`` is reduced to one packet whose integer slot is the reduction
+of all integer slots and whose array slot is the elementwise reduction of
+all arrays (shapes must match).
+
+Associativity is what makes the tree reduction correct: for ``sum``,
+``min``, ``max``, ``concat`` (with deterministic source ordering) and
+``count``, reducing partial results at internal nodes yields exactly the
+flat reduction.  ``avg`` is *not* associative, so :class:`AverageFilter`
+carries an explicit contribution count through the tree (appended as a
+trailing ``%ud`` slot on internal packets) and finalizes the true
+weighted mean at the front-end — avoiding the average-of-averages error
+on unbalanced subtrees.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from .errors import FilterError
+from .filters import FilterContext, TransformationFilter
+from .packet import Packet
+
+__all__ = [
+    "SumFilter",
+    "MinFilter",
+    "MaxFilter",
+    "CountFilter",
+    "AverageFilter",
+    "ConcatFilter",
+]
+
+
+def _check_same_fmt(packets: Sequence[Packet], filter_name: str) -> str:
+    fmt = packets[0].fmt
+    for p in packets[1:]:
+        if p.fmt != fmt:
+            raise FilterError(
+                f"{filter_name} requires uniform packet formats, "
+                f"got {fmt!r} and {p.fmt!r}"
+            )
+    return fmt
+
+
+def _reduce_slotwise(
+    packets: Sequence[Packet],
+    scalar_op: Callable[[list], Any],
+    array_op: Callable[[np.ndarray], np.ndarray],
+    filter_name: str,
+) -> list[Any]:
+    """Combine packets slot-by-slot with a scalar and an array reducer.
+
+    ``array_op`` receives the slot's arrays stacked on a new leading
+    axis and reduces over that axis.
+    """
+    out: list[Any] = []
+    n_slots = len(packets[0].values)
+    for i in range(n_slots):
+        slot = [p.values[i] for p in packets]
+        first = slot[0]
+        if isinstance(first, np.ndarray):
+            shapes = {v.shape for v in slot}
+            if len(shapes) != 1:
+                raise FilterError(
+                    f"{filter_name}: slot {i} arrays have mismatched shapes {shapes}"
+                )
+            out.append(array_op(np.stack(slot)))
+        elif isinstance(first, (int, float)) and not isinstance(first, bool):
+            out.append(scalar_op(slot))
+        else:
+            raise FilterError(
+                f"{filter_name}: slot {i} holds {type(first).__name__}, "
+                "which this numeric filter cannot reduce"
+            )
+    return out
+
+
+class SumFilter(TransformationFilter):
+    """Slotwise sum of numeric and array slots."""
+
+    name = "sum"
+
+    def transform(self, packets: Sequence[Packet], ctx: FilterContext) -> Packet:
+        _check_same_fmt(packets, self.name)
+        vals = _reduce_slotwise(packets, sum, lambda a: a.sum(axis=0), self.name)
+        return packets[0].with_values(vals)
+
+
+class MinFilter(TransformationFilter):
+    """Slotwise minimum."""
+
+    name = "min"
+
+    def transform(self, packets: Sequence[Packet], ctx: FilterContext) -> Packet:
+        _check_same_fmt(packets, self.name)
+        vals = _reduce_slotwise(packets, min, lambda a: a.min(axis=0), self.name)
+        return packets[0].with_values(vals)
+
+
+class MaxFilter(TransformationFilter):
+    """Slotwise maximum."""
+
+    name = "max"
+
+    def transform(self, packets: Sequence[Packet], ctx: FilterContext) -> Packet:
+        _check_same_fmt(packets, self.name)
+        vals = _reduce_slotwise(packets, max, lambda a: a.max(axis=0), self.name)
+        return packets[0].with_values(vals)
+
+
+class CountFilter(TransformationFilter):
+    """Total a per-back-end count up the tree.
+
+    Back-ends send a single integer slot (their local count, commonly 1);
+    the filter sums counts at every level, so the front-end receives the
+    total across all contributing back-ends.
+    """
+
+    name = "count"
+
+    def transform(self, packets: Sequence[Packet], ctx: FilterContext) -> Packet:
+        fmt = _check_same_fmt(packets, self.name)
+        if fmt.replace(" ", "") not in ("%d", "%ud"):
+            raise FilterError(f"count expects a single integer slot, got {fmt!r}")
+        return packets[0].with_values([sum(p.values[0] for p in packets)])
+
+
+class AverageFilter(TransformationFilter):
+    """Weighted mean across back-ends, exact on unbalanced trees.
+
+    Internally, packets travelling between communication processes carry
+    slotwise *sums* plus a trailing ``%ud`` contribution count; the root
+    divides through and emits the original format.  Back-end packets
+    (original format) are weight-1 contributions.
+    """
+
+    name = "avg"
+
+    #: ``src`` marker on internal partial-sum packets.  A packet's format
+    #: alone cannot distinguish a back-end payload that happens to end in
+    #: ``%ud`` from the filter's own sum+count encoding, so the filter
+    #: stamps its intermediate outputs with this sentinel source rank.
+    _PARTIAL_SRC = -2
+
+    def _split(self, packet: Packet) -> tuple[list[Any], int]:
+        """Return (slot sums, weight) for an input packet."""
+        if packet.src == self._PARTIAL_SRC:
+            return list(packet.values[:-1]), int(packet.values[-1])
+        return list(packet.values), 1
+
+    def transform(self, packets: Sequence[Packet], ctx: FilterContext) -> Packet:
+        split = [self._split(p) for p in packets]
+        widths = {len(vals) for vals, _w in split}
+        if len(widths) != 1:
+            raise FilterError(f"avg saw incompatible slot widths {widths}")
+        n_slots = len(split[0][0])
+        sums: list[Any] = []
+        for i in range(n_slots):
+            slot = [vals[i] for vals, _w in split]
+            first = slot[0]
+            if isinstance(first, np.ndarray):
+                shapes = {v.shape for v in slot}
+                if len(shapes) != 1:
+                    raise FilterError(
+                        f"avg: slot {i} arrays have mismatched shapes {shapes}"
+                    )
+                sums.append(np.stack(slot).astype(np.float64).sum(axis=0))
+            elif isinstance(first, (int, float)) and not isinstance(first, bool):
+                sums.append(float(sum(slot)))
+            else:
+                raise FilterError(
+                    f"avg: slot {i} holds {type(first).__name__}, not numeric"
+                )
+        weight = sum(w for _vals, w in split)
+        if ctx.is_root:
+            final = [s / weight for s in sums]
+            # Emit in the base format; float slots stay float.
+            float_fmt = " ".join(
+                "%af" if isinstance(s, np.ndarray) else "%f" for s in final
+            )
+            return Packet(
+                packets[0].stream_id, packets[0].tag, float_fmt, final, src=-1
+            )
+        float_base = " ".join(
+            "%af" if isinstance(s, np.ndarray) else "%f" for s in sums
+        )
+        return Packet(
+            packets[0].stream_id,
+            packets[0].tag,
+            float_base + " %ud",
+            sums + [weight],
+            src=self._PARTIAL_SRC,
+        )
+
+
+class ConcatFilter(TransformationFilter):
+    """Slotwise concatenation, ordered by source rank for determinism.
+
+    Arrays concatenate along axis 0, strings join, string lists extend.
+    Scalar ``%d``/``%f`` slots are promoted to arrays so that leaf
+    scalars concatenate into a vector at the front-end (the common
+    "gather" usage).
+    """
+
+    name = "concat"
+
+    def transform(self, packets: Sequence[Packet], ctx: FilterContext) -> Packet:
+        ordered = sorted(packets, key=lambda p: (p.src, p.seq))
+        n_slots = len(ordered[0].values)
+        for p in ordered[1:]:
+            if len(p.values) != n_slots:
+                raise FilterError("concat requires equal slot counts")
+        out: list[Any] = []
+        fmt_parts: list[str] = []
+        for i in range(n_slots):
+            slot = [p.values[i] for p in ordered]
+            first = slot[0]
+            # A slot mixes arrays and scalars when a back-end feeds an
+            # internal node directly (unbalanced trees): promote to arrays
+            # if any contribution already is one.
+            if any(isinstance(v, np.ndarray) for v in slot):
+                first = next(v for v in slot if isinstance(v, np.ndarray))
+            if isinstance(first, np.ndarray):
+                arrays = [np.atleast_1d(v) for v in slot]
+                cat = np.concatenate(arrays, axis=0)
+                out.append(cat)
+                if cat.ndim == 2:
+                    fmt_parts.append("%am")
+                elif cat.dtype == np.int64:
+                    fmt_parts.append("%ad")
+                elif cat.dtype == np.uint64:
+                    fmt_parts.append("%aud")
+                else:
+                    fmt_parts.append("%af")
+            elif isinstance(first, str):
+                out.append("".join(slot))
+                fmt_parts.append("%s")
+            elif isinstance(first, list):
+                merged: list[str] = []
+                for v in slot:
+                    merged.extend(v)
+                out.append(merged)
+                fmt_parts.append("%as")
+            elif isinstance(first, bool):
+                raise FilterError("concat cannot promote bool slots")
+            elif isinstance(first, int):
+                out.append(np.asarray(slot, dtype=np.int64))
+                fmt_parts.append("%ad")
+            elif isinstance(first, float):
+                out.append(np.asarray(slot, dtype=np.float64))
+                fmt_parts.append("%af")
+            else:
+                raise FilterError(
+                    f"concat: slot {i} holds {type(first).__name__}, not concatenable"
+                )
+        return Packet(
+            ordered[0].stream_id,
+            ordered[0].tag,
+            " ".join(fmt_parts),
+            out,
+            src=-1,
+        )

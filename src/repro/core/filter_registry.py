@@ -1,0 +1,204 @@
+"""Filter registry and dlopen-style dynamic filter loading.
+
+MRNet "allows developers to extend the filter set with application-
+specific filters ... loaded on-demand into instantiated networks; an
+interface similar to dlopen is used to dynamically specify and load the
+filters into the running communication processes."
+
+The Python equivalent: filters are addressed by *name*.  Built-ins and
+decorator-registered filters resolve from the process-local registry;
+names of the form ``"package.module:Attr"`` are resolved with
+:mod:`importlib` — the running communication process imports the module
+on demand, exactly as a ``dlopen``/``dlsym`` pair would map a shared
+object and symbol.
+"""
+
+from __future__ import annotations
+
+import importlib
+import threading
+from typing import Any, Callable, Iterator, Type
+
+from .errors import FilterLoadError
+from .filters import SynchronizationFilter, TransformationFilter
+
+__all__ = [
+    "FilterRegistry",
+    "register_transform",
+    "register_sync",
+    "default_registry",
+]
+
+
+class FilterRegistry:
+    """Thread-safe name → filter-class registry.
+
+    Separate namespaces for transformation and synchronization filters
+    (MRNet treats them as distinct filter kinds).  Lookup order:
+
+    1. explicit registration (built-ins, decorated user filters);
+    2. dynamic ``"module:attr"`` loading via importlib, after which the
+       class is cached in the registry.
+    """
+
+    def __init__(self) -> None:
+        self._transforms: dict[str, Type[TransformationFilter]] = {}
+        self._syncs: dict[str, Type[SynchronizationFilter]] = {}
+        self._lock = threading.Lock()
+
+    # -- registration -----------------------------------------------------
+    def add_transform(
+        self, name: str, cls: Type[TransformationFilter], *, replace: bool = False
+    ) -> None:
+        if not issubclass(cls, TransformationFilter):
+            raise FilterLoadError(
+                f"{cls.__name__} is not a TransformationFilter subclass"
+            )
+        with self._lock:
+            if name in self._transforms and not replace:
+                raise FilterLoadError(f"transformation filter {name!r} already registered")
+            self._transforms[name] = cls
+
+    def add_sync(
+        self, name: str, cls: Type[SynchronizationFilter], *, replace: bool = False
+    ) -> None:
+        if not issubclass(cls, SynchronizationFilter):
+            raise FilterLoadError(
+                f"{cls.__name__} is not a SynchronizationFilter subclass"
+            )
+        with self._lock:
+            if name in self._syncs and not replace:
+                raise FilterLoadError(f"synchronization filter {name!r} already registered")
+            self._syncs[name] = cls
+
+    # -- resolution -----------------------------------------------------------
+    def _dynamic_load(self, name: str) -> Any:
+        """Resolve ``"module:attr"``, the dlopen-analogue path."""
+        module_name, _, attr = name.partition(":")
+        if not module_name or not attr:
+            raise FilterLoadError(
+                f"unknown filter {name!r} (not registered, and not of the "
+                "dynamic 'module:attr' form)"
+            )
+        try:
+            module = importlib.import_module(module_name)
+        except ImportError as exc:
+            raise FilterLoadError(f"cannot import filter module {module_name!r}: {exc}") from exc
+        try:
+            return getattr(module, attr)
+        except AttributeError as exc:
+            raise FilterLoadError(
+                f"module {module_name!r} has no attribute {attr!r}"
+            ) from exc
+
+    def resolve_transform(self, name: str) -> Type[TransformationFilter]:
+        with self._lock:
+            cls = self._transforms.get(name)
+        if cls is not None:
+            return cls
+        loaded = self._dynamic_load(name)
+        if not (isinstance(loaded, type) and issubclass(loaded, TransformationFilter)):
+            raise FilterLoadError(
+                f"{name!r} resolved to {loaded!r}, not a TransformationFilter class"
+            )
+        self.add_transform(name, loaded, replace=True)
+        return loaded
+
+    def resolve_sync(self, name: str) -> Type[SynchronizationFilter]:
+        with self._lock:
+            cls = self._syncs.get(name)
+        if cls is not None:
+            return cls
+        loaded = self._dynamic_load(name)
+        if not (isinstance(loaded, type) and issubclass(loaded, SynchronizationFilter)):
+            raise FilterLoadError(
+                f"{name!r} resolved to {loaded!r}, not a SynchronizationFilter class"
+            )
+        self.add_sync(name, loaded, replace=True)
+        return loaded
+
+    def make_transform(self, name: str, **params: Any) -> TransformationFilter:
+        """Instantiate a transformation filter by name.
+
+        A ``|``-separated name (``"equivalence|passthrough"``) builds a
+        :class:`~repro.core.filters.SuperFilter` applying the stages in
+        order — the paper's observation that "a single 'super filter'
+        that propagates the packet flow to a sequence of filters could
+        seamlessly mimic" filter chaining, packaged as syntax.  Each
+        stage receives the same ``params``.
+        """
+        if "|" in name:
+            from .filters import SuperFilter
+
+            stage_names = [part.strip() for part in name.split("|")]
+            if any(not part for part in stage_names):
+                raise FilterLoadError(f"empty stage in filter chain {name!r}")
+            stages = [self.resolve_transform(part)(**params) for part in stage_names]
+            return SuperFilter(stages, **params)
+        return self.resolve_transform(name)(**params)
+
+    def make_sync(self, name: str, **params: Any) -> SynchronizationFilter:
+        """Instantiate a synchronization filter by name."""
+        return self.resolve_sync(name)(**params)
+
+    # -- introspection ----------------------------------------------------------
+    def transforms(self) -> Iterator[str]:
+        with self._lock:
+            return iter(sorted(self._transforms))
+
+    def syncs(self) -> Iterator[str]:
+        with self._lock:
+            return iter(sorted(self._syncs))
+
+
+#: The process-wide default registry used by :class:`repro.core.network.Network`.
+default_registry = FilterRegistry()
+
+
+def register_transform(
+    name: str, registry: FilterRegistry | None = None
+) -> Callable[[Type[TransformationFilter]], Type[TransformationFilter]]:
+    """Class decorator registering a transformation filter under ``name``."""
+
+    def deco(cls: Type[TransformationFilter]) -> Type[TransformationFilter]:
+        (registry or default_registry).add_transform(name, cls)
+        cls.name = name
+        return cls
+
+    return deco
+
+
+def register_sync(
+    name: str, registry: FilterRegistry | None = None
+) -> Callable[[Type[SynchronizationFilter]], Type[SynchronizationFilter]]:
+    """Class decorator registering a synchronization filter under ``name``."""
+
+    def deco(cls: Type[SynchronizationFilter]) -> Type[SynchronizationFilter]:
+        (registry or default_registry).add_sync(name, cls)
+        cls.name = name
+        return cls
+
+    return deco
+
+
+def _register_builtins() -> None:
+    """Install MRNet's built-in filters into the default registry."""
+    from . import builtin_filters as bf
+    from . import sync_filters as sf
+    from .filters import PassthroughFilter
+
+    for cls in (
+        bf.SumFilter,
+        bf.MinFilter,
+        bf.MaxFilter,
+        bf.CountFilter,
+        bf.AverageFilter,
+        bf.ConcatFilter,
+    ):
+        default_registry.add_transform(cls.name, cls, replace=True)
+    default_registry.add_transform("passthrough", PassthroughFilter, replace=True)
+    for scls in (sf.WaitForAll, sf.TimeOut, sf.NullSync):
+        default_registry.add_sync(scls.name, scls, replace=True)
+
+
+_register_builtins()

@@ -1,0 +1,246 @@
+"""Filter abstractions: stateful transformation and synchronization filters.
+
+Filters are the strength of the TBON model: "a filter can be any function
+that inputs a set of packets and outputs a single packet", with
+"persistent filter state used to carry side-effects from one filter
+execution to the next".  Every non-leaf process on a stream instantiates
+one *transformation filter* and one *synchronization filter*; instances
+are per-(node, stream), so ordinary instance attributes are the
+persistent state.
+
+Two filter families:
+
+* :class:`TransformationFilter` — aggregates a batch of upstream packets
+  into (normally) one output packet.  The general TBON model permits
+  multiple outputs, so :meth:`~TransformationFilter.execute` returns a
+  list, but as the paper notes "in practice we have not found the need
+  for outputting multiple packets".
+* :class:`SynchronizationFilter` — decides *when* a batch of packets is
+  delivered to the transformation filter, independent of arrival times
+  (MRNet built-ins: ``wait_for_all``, ``time_out``, ``null``).
+
+:class:`SuperFilter` reproduces the paper's suggested workaround for the
+missing filter-chaining feature: "a single 'super filter' that propagates
+the packet flow to a sequence of filters could seamlessly mimic this
+functionality".
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from .errors import FilterError
+from .packet import Packet
+
+__all__ = [
+    "FilterContext",
+    "TransformationFilter",
+    "SynchronizationFilter",
+    "FunctionFilter",
+    "SuperFilter",
+    "PassthroughFilter",
+]
+
+
+@dataclass
+class FilterContext:
+    """Execution context handed to every filter invocation.
+
+    Attributes:
+        node_rank: rank of the communication process running the filter.
+        stream_id: id of the stream the packets belong to.
+        n_children: number of this node's children that lie on the
+            stream (the expected batch width for aligned waves).
+        is_root: True at the front-end node.
+        depth: node's depth in the tree (root = 0).
+        now: monotonic clock function; the thread/TCP transports pass
+            :func:`time.monotonic`, the simulator passes virtual time.
+        params: free-form per-stream configuration (from the stream
+            spec), e.g. mean-shift bandwidth.
+    """
+
+    node_rank: int = 0
+    stream_id: int = 0
+    n_children: int = 1
+    is_root: bool = False
+    depth: int = 0
+    now: Callable[[], float] = time.monotonic
+    params: dict[str, Any] = field(default_factory=dict)
+
+
+class TransformationFilter:
+    """Base class for data-reduction filters.
+
+    Subclasses override :meth:`transform` (batch → one packet or None).
+    Filter parameters arrive as keyword arguments and are stored on
+    ``self.params``; persistent state is plain instance attributes,
+    initialized in :meth:`__init__` or lazily.
+    """
+
+    #: Registered name (set by the registry decorator).
+    name: str = ""
+
+    def __init__(self, **params: Any):
+        self.params = params
+
+    def transform(self, packets: Sequence[Packet], ctx: FilterContext) -> Packet | None:
+        """Reduce a batch of packets to one packet (or None to emit nothing)."""
+        raise NotImplementedError
+
+    def execute(self, packets: Sequence[Packet], ctx: FilterContext) -> list[Packet]:
+        """Run the filter, normalizing the output to a packet list.
+
+        Wraps any exception from :meth:`transform` in :class:`FilterError`
+        so a buggy application filter cannot take down a communication
+        process silently.
+        """
+        if not packets:
+            return []
+        try:
+            out = self.transform(packets, ctx)
+        except FilterError:
+            raise
+        except Exception as exc:
+            raise FilterError(
+                f"filter {type(self).__name__} failed at node {ctx.node_rank}: {exc}"
+            ) from exc
+        if out is None:
+            return []
+        if isinstance(out, Packet):
+            return [out]
+        if isinstance(out, (list, tuple)) and all(isinstance(p, Packet) for p in out):
+            return list(out)
+        raise FilterError(
+            f"filter {type(self).__name__} returned {type(out).__name__}, "
+            "expected Packet, list of Packets, or None"
+        )
+
+    def flush(self, ctx: FilterContext) -> list[Packet]:
+        """Emit any held state at stream close (default: nothing).
+
+        Stateful filters that buffer across waves (e.g. time-aligned
+        aggregation) override this to drain on shutdown.
+        """
+        return []
+
+
+class FunctionFilter(TransformationFilter):
+    """Adapter turning a plain function into a transformation filter.
+
+    The function receives ``(packets, ctx)`` and returns a Packet or
+    None.  Useful for quick application-specific reductions without a
+    class definition::
+
+        f = FunctionFilter(lambda pkts, ctx: pkts[0])
+    """
+
+    def __init__(self, fn: Callable[[Sequence[Packet], FilterContext], Packet | None], **params: Any):
+        super().__init__(**params)
+        self.fn = fn
+
+    def transform(self, packets: Sequence[Packet], ctx: FilterContext) -> Packet | None:
+        return self.fn(packets, ctx)
+
+
+class PassthroughFilter(TransformationFilter):
+    """Forward every packet unchanged (no reduction).
+
+    Equivalent to running a stream without a transformation filter; at a
+    node with several children this forwards each child's packets
+    upstream individually, so the front-end sees one packet per
+    back-end — exactly the non-aggregating load the paper's one-to-many
+    baselines suffer from.
+    """
+
+    def execute(self, packets: Sequence[Packet], ctx: FilterContext) -> list[Packet]:
+        return list(packets)
+
+    def transform(self, packets: Sequence[Packet], ctx: FilterContext) -> Packet | None:
+        raise AssertionError("PassthroughFilter overrides execute directly")
+
+
+class SuperFilter(TransformationFilter):
+    """Apply a sequence of transformation filters at one node.
+
+    MRNet "does not support filter chaining where a sequence of filters
+    are applied at each communication process"; the paper observes a
+    single super filter can mimic it.  Each stage's outputs feed the
+    next stage's inputs.
+    """
+
+    def __init__(self, stages: Sequence[TransformationFilter], **params: Any):
+        super().__init__(**params)
+        if not stages:
+            raise FilterError("SuperFilter needs at least one stage")
+        self.stages = list(stages)
+
+    def execute(self, packets: Sequence[Packet], ctx: FilterContext) -> list[Packet]:
+        current = list(packets)
+        for stage in self.stages:
+            if not current:
+                break
+            current = stage.execute(current, ctx)
+        return current
+
+    def transform(self, packets: Sequence[Packet], ctx: FilterContext) -> Packet | None:
+        raise AssertionError("SuperFilter overrides execute directly")
+
+    def flush(self, ctx: FilterContext) -> list[Packet]:
+        out: list[Packet] = []
+        for stage in self.stages:
+            out.extend(stage.flush(ctx))
+        return out
+
+
+class SynchronizationFilter:
+    """Base class for packet-delivery synchronization policies.
+
+    A synchronization filter sees every upstream packet as it arrives at
+    a node (tagged with which child link delivered it) and decides when
+    to release *batches* to the transformation filter.  MRNet ships
+    three policies; all are implemented in
+    :mod:`repro.core.sync_filters`.
+
+    The node event loop drives the filter with :meth:`push` per arrival,
+    polls :meth:`next_deadline` to schedule timer wakeups, and calls
+    :meth:`on_timer` when a deadline passes and :meth:`flush` at stream
+    close.
+    """
+
+    name: str = ""
+
+    def __init__(self, **params: Any):
+        self.params = params
+
+    def push(
+        self, packet: Packet, child: int, ctx: FilterContext
+    ) -> list[list[Packet]]:
+        """Accept one packet from ``child``; return released batches."""
+        raise NotImplementedError
+
+    def next_deadline(self) -> float | None:
+        """Virtual/real time of the next timer event, or None."""
+        return None
+
+    def on_timer(self, now: float, ctx: FilterContext) -> list[list[Packet]]:
+        """Handle a timer expiry; return released batches."""
+        return []
+
+    def flush(self, ctx: FilterContext) -> list[list[Packet]]:
+        """Release everything still held (stream close / shutdown)."""
+        return []
+
+    def recheck(
+        self, ctx: FilterContext, covering: tuple[int, ...]
+    ) -> list[list[Packet]]:
+        """Re-evaluate held packets after a topology change (recovery).
+
+        Default: nothing held, nothing to release.
+        """
+        return []
+
+    def pending_count(self) -> int:
+        """Number of packets currently held (for tests and monitoring)."""
+        return 0

@@ -1,0 +1,73 @@
+"""Front-end application endpoint: dispatch of root-filter output.
+
+The front-end process sits at the tree root.  Its root communication
+process (a :class:`~repro.core.node.NodeRunner` at rank 0) hands final
+upstream packets to :class:`FrontEnd.dispatch`, which routes them to the
+owning :class:`~repro.core.stream.Stream` handle — data packets to the
+stream's receive queue, close acknowledgements to its closed event, and
+forwarded filter errors to every open stream (so a blocked ``recv``
+surfaces the failure instead of hanging).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING
+
+from .errors import FilterError
+from .events import CONTROL_STREAM_ID, Envelope, TAG_ERROR, TAG_STREAM_CLOSE
+from .packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .stream import Stream
+
+__all__ = ["FrontEnd"]
+
+
+class FrontEnd:
+    """Stream registry + upstream dispatcher for the root application."""
+
+    def __init__(self) -> None:
+        self._streams: dict[int, "Stream"] = {}
+        self._lock = threading.Lock()
+        self.errors: list[FilterError] = []
+
+    def register(self, stream: "Stream") -> None:
+        with self._lock:
+            self._streams[stream.stream_id] = stream
+
+    def unregister(self, stream_id: int) -> None:
+        with self._lock:
+            self._streams.pop(stream_id, None)
+
+    def get(self, stream_id: int) -> "Stream | None":
+        with self._lock:
+            return self._streams.get(stream_id)
+
+    def open_streams(self) -> list["Stream"]:
+        with self._lock:
+            return [s for s in self._streams.values() if not s.is_closed]
+
+    def dispatch(self, env: Envelope) -> None:
+        """Route one envelope delivered by the root communication process.
+
+        Runs on the root node's thread; must stay non-blocking.
+        """
+        packet: Packet = env.packet
+        if packet.stream_id == CONTROL_STREAM_ID:
+            if packet.tag == TAG_STREAM_CLOSE:
+                (stream_id,) = packet.values
+                stream = self.get(stream_id)
+                if stream is not None:
+                    stream._mark_closed()
+            elif packet.tag == TAG_ERROR:
+                rank, exc_type, msg = packet.values
+                err = FilterError(f"node {rank}: {exc_type}: {msg}")
+                self.errors.append(err)
+                for stream in self.open_streams():
+                    stream._deliver_error(err)
+            # other control noise is ignored at the application layer
+            return
+        stream = self.get(packet.stream_id)
+        if stream is not None:
+            stream._deliver(packet)

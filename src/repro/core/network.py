@@ -1,0 +1,315 @@
+"""The public TBON network facade (MRNet's ``Network`` class).
+
+Instantiating a :class:`Network` materializes a process tree over a
+transport: one :class:`~repro.core.node.NodeRunner` per non-leaf rank,
+one :class:`~repro.core.backend.BackEnd` handle per leaf, and a
+:class:`~repro.core.frontend.FrontEnd` dispatcher at the root.  The
+front-end creates :class:`~repro.core.stream.Stream` objects binding
+back-end subsets to filter pairs, mirroring the MRNet API::
+
+    from repro import Network, balanced_topology, FIRST_APPLICATION_TAG
+
+    topo = balanced_topology(fanout=4, depth=2)     # 16 back-ends
+    with Network(topo) as net:
+        s = net.new_stream(transform="sum", sync="wait_for_all")
+        net.run_backends(lambda be: be.send(s.stream_id, TAG, "%d", be.rank))
+        total = s.recv(timeout=5.0).values[0]
+
+Everything is in-process by default (:class:`ThreadTransport`); pass
+``transport="tcp"`` to run the same tree over real localhost TCP
+sockets.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Any, Callable, Iterable, Sequence
+
+from .backend import BackEnd
+from .errors import NetworkShutdownError, StreamError, TopologyError
+from .events import (
+    CONTROL_STREAM_ID,
+    Direction,
+    Envelope,
+    FIRST_STREAM_ID,
+    StreamSpec,
+    TAG_FILTER_LOAD,
+    TAG_SHUTDOWN,
+    TAG_STREAM_CREATE,
+)
+from .filter_registry import FilterRegistry, default_registry
+from .frontend import FrontEnd
+from .node import NodeRunner
+from .packet import Packet
+from .stream import Stream
+from .topology import Topology
+
+__all__ = ["Network"]
+
+
+class Network:
+    """An instantiated tree-based overlay network.
+
+    Args:
+        topology: the process tree to materialize.
+        transport: ``"thread"`` (default), ``"tcp"``, or a pre-built
+            :class:`~repro.transport.base.Transport` instance.
+        registry: filter registry (defaults to the process-wide one with
+            MRNet's built-ins).
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        transport: Any = "thread",
+        registry: FilterRegistry | None = None,
+    ):
+        if topology.n_backends == 0:
+            raise TopologyError("a network needs at least one back-end")
+        self.topology = topology
+        self.registry = registry or default_registry
+        self.frontend = FrontEnd()
+        self._stream_ids = itertools.count(FIRST_STREAM_ID)
+        self._shutdown = False
+        self._lock = threading.Lock()
+
+        if transport == "thread":
+            from ..transport.local import ThreadTransport
+
+            transport = ThreadTransport()
+        elif transport == "tcp":
+            from ..transport.tcp import TCPTransport
+
+            transport = TCPTransport()
+        self.transport = transport
+        self.transport.bind(topology)
+
+        # Non-leaf ranks run communication processes.
+        self.nodes: dict[int, NodeRunner] = {}
+        for rank in topology.ranks:
+            if topology.children(rank):
+                self.nodes[rank] = NodeRunner(
+                    rank,
+                    topology,
+                    self.transport,
+                    self.registry,
+                    deliver_up=self.frontend.dispatch if rank == topology.root else None,
+                )
+        # Leaves are application back-ends.
+        self._backends: dict[int, BackEnd] = {
+            rank: BackEnd(rank, topology, self.transport) for rank in topology.backends
+        }
+        for node in self.nodes.values():
+            node.start()
+
+    # -- stream management ----------------------------------------------------
+    def new_stream(
+        self,
+        members: Iterable[int] | None = None,
+        *,
+        transform: str = "passthrough",
+        sync: str = "wait_for_all",
+        transform_params: dict | None = None,
+        sync_params: dict | None = None,
+        down_transform: str = "",
+    ) -> Stream:
+        """Create a stream over ``members`` (default: every back-end).
+
+        The stream-create control packet is broadcast down the tree;
+        every covering node instantiates its filter pair before any
+        member can send, so no data packet can beat its stream's
+        creation (FIFO channels).
+        """
+        self._check_alive()
+        if members is None:
+            member_tuple = tuple(self.topology.backends)
+        else:
+            member_tuple = tuple(sorted(set(int(m) for m in members)))
+            backends = set(self.topology.backends)
+            bad = [m for m in member_tuple if m not in backends]
+            if bad:
+                raise StreamError(f"stream members must be back-ends; bad ranks {bad}")
+            if not member_tuple:
+                raise StreamError("stream needs at least one member")
+        # Fail fast: resolve filter names at the front-end before the
+        # spec is broadcast (a typo'd name should raise here, not as an
+        # asynchronous node error).  "|"-chained names resolve per stage.
+        for name in transform.split("|"):
+            self.registry.resolve_transform(name.strip() or transform)
+        self.registry.resolve_sync(sync)
+        if down_transform:
+            for name in down_transform.split("|"):
+                self.registry.resolve_transform(name.strip() or down_transform)
+        spec = StreamSpec(
+            stream_id=next(self._stream_ids),
+            members=member_tuple,
+            transform=transform,
+            sync=sync,
+            transform_params=tuple(sorted((transform_params or {}).items())),
+            sync_params=tuple(sorted((sync_params or {}).items())),
+            down_transform=down_transform,
+        )
+        stream = Stream(self, spec)
+        self.frontend.register(stream)
+        create = Packet(CONTROL_STREAM_ID, TAG_STREAM_CREATE, "%o", (spec,))
+        self._inject_down(create)
+        return stream
+
+    def load_filter(self, name: str, kind: str = "transform") -> None:
+        """Dynamically load a filter into every communication process.
+
+        ``name`` may be a registered name or the dlopen-analogue
+        ``"module:Attr"`` form; each node resolves (imports) it locally.
+        """
+        self._check_alive()
+        if kind not in ("transform", "sync"):
+            raise StreamError(f"filter kind must be 'transform' or 'sync', got {kind!r}")
+        # Resolve at the front-end first so errors surface synchronously.
+        if kind == "transform":
+            self.registry.resolve_transform(name)
+        else:
+            self.registry.resolve_sync(name)
+        pkt = Packet(CONTROL_STREAM_ID, TAG_FILTER_LOAD, "%s %s", (name, kind))
+        self._inject_down(pkt)
+
+    def attach_backend(self, parent_rank: int) -> BackEnd:
+        """Attach a new back-end under ``parent_rank`` in the live network.
+
+        MRNet's dynamic topology model: "back-end processes may join
+        after the internal tree has been instantiated."  The new
+        back-end is *not* a member of existing streams (their
+        memberships were fixed at creation); streams created afterwards
+        may include it.
+
+        Requires a transport with live rebinding (the thread transport);
+        returns the new :class:`BackEnd` handle.
+        """
+        self._check_alive()
+        if not hasattr(self.transport, "rebind"):
+            raise StreamError(
+                f"{type(self.transport).__name__} does not support live attach"
+            )
+        if parent_rank not in self.nodes:
+            raise StreamError(
+                f"rank {parent_rank} is not a running communication process"
+            )
+        from .events import TAG_TOPOLOGY_ATTACH
+
+        new_topo, new_rank = self.topology.attach_backend(parent_rank)
+        self.transport.rebind(new_topo)
+        self.topology = new_topo
+        self._backends[new_rank] = BackEnd(new_rank, new_topo, self.transport)
+        reconfig = Packet(CONTROL_STREAM_ID, TAG_TOPOLOGY_ATTACH, "%o", (new_topo,))
+        for rank in self.nodes:
+            self.transport.inbox(rank).put(
+                Envelope(src=-1, direction=Direction.DOWNSTREAM, packet=reconfig)
+            )
+        for rank in new_topo.backends:
+            if rank != new_rank:
+                self.transport.inbox(rank).put(
+                    Envelope(src=-1, direction=Direction.DOWNSTREAM, packet=reconfig)
+                )
+        return self._backends[new_rank]
+
+    # -- endpoints ---------------------------------------------------------------
+    def backend(self, rank: int) -> BackEnd:
+        """The application handle for back-end ``rank``."""
+        try:
+            return self._backends[rank]
+        except KeyError:
+            raise StreamError(f"rank {rank} is not a back-end") from None
+
+    @property
+    def backends(self) -> list[BackEnd]:
+        """All back-end handles, in topology (BFS) order."""
+        return [self._backends[r] for r in self.topology.backends]
+
+    def run_backends(
+        self,
+        fn: Callable[[BackEnd], Any],
+        ranks: Sequence[int] | None = None,
+        *,
+        join: bool = True,
+        timeout: float | None = 60.0,
+    ) -> list[threading.Thread]:
+        """Run ``fn(backend)`` on a thread per back-end (the app's leaves).
+
+        With ``join=True`` (default) waits for all threads; exceptions
+        inside ``fn`` are re-raised at the caller (first one wins).
+        """
+        errors: list[Exception] = []
+        err_lock = threading.Lock()
+
+        def wrap(be: BackEnd) -> None:
+            try:
+                fn(be)
+            except Exception as exc:
+                with err_lock:
+                    errors.append(exc)
+
+        targets = self.topology.backends if ranks is None else list(ranks)
+        threads = [
+            threading.Thread(
+                target=wrap, args=(self._backends[r],), name=f"tbon-beapp-{r}", daemon=True
+            )
+            for r in targets
+        ]
+        for t in threads:
+            t.start()
+        if join:
+            for t in threads:
+                t.join(timeout)
+            if errors:
+                raise errors[0]
+        return threads
+
+    # -- plumbing --------------------------------------------------------------------
+    def _inject_down(self, packet: Packet) -> None:
+        """Inject a packet at the root as if sent by the application."""
+        self._check_alive()
+        self.transport.inbox(self.topology.root).put(
+            Envelope(src=-1, direction=Direction.DOWNSTREAM, packet=packet)
+        )
+
+    def _check_alive(self) -> None:
+        if self._shutdown:
+            raise NetworkShutdownError("network has been shut down")
+
+    # -- lifecycle ---------------------------------------------------------------------
+    def shutdown(self, timeout: float = 5.0) -> None:
+        """Tear the tree down: broadcast shutdown, join every process."""
+        if self._shutdown:
+            return
+        pkt = Packet(CONTROL_STREAM_ID, TAG_SHUTDOWN, "%d", (0,))
+        self._inject_down(pkt)
+        self._shutdown = True
+        for node in self.nodes.values():
+            node.join(timeout)
+        for be in self._backends.values():
+            be.stop()
+        self.transport.shutdown()
+
+    def node_errors(self) -> dict[int, Exception]:
+        """Errors captured by communication processes (empty when healthy)."""
+        return {r: n.error for r, n in self.nodes.items() if n.error is not None}
+
+    def stats(self) -> dict[str, dict[int, tuple[int, int]]]:
+        """Per-stream packet accounting across all communication processes.
+
+        Returns ``{"node <rank>": {stream_id: (packets_in, packets_out)}}``
+        for monitoring and tests; aggregation ratios fall straight out
+        (a node with (k, 1) per wave is reducing k-fold).
+        """
+        return {f"node {r}": n.stream_stats() for r, n in self.nodes.items()}
+
+    def __enter__(self) -> "Network":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Network({self.topology!r}, transport={type(self.transport).__name__})"
+        )

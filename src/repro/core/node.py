@@ -1,0 +1,407 @@
+"""The communication-process event loop.
+
+Every non-leaf rank of the tree (the front-end's root process and all
+internal processes) runs a :class:`NodeRunner`: a loop that drains the
+rank's inbox, interprets control packets (stream creation, filter
+loading, close/shutdown) and drives the per-stream filter pipeline on
+data packets — synchronization filter first, then the transformation
+filter, then forwarding toward the front-end, exactly as Figure 1 of the
+paper describes.
+
+The loop is transport-independent: it sees only an
+:class:`~repro.transport.base.Inbox` and the transport's ``send``; the
+thread transport runs one Python thread per node, the TCP transport the
+same but with socket-fed inboxes, and the discrete-event simulator
+re-uses :class:`StreamState`'s filter pipeline with virtual time.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from .errors import ChannelClosedError, FilterError, ProtocolError
+from .events import (
+    CONTROL_STREAM_ID,
+    Direction,
+    Envelope,
+    StreamSpec,
+    TAG_ERROR,
+    TAG_FILTER_LOAD,
+    TAG_P2P,
+    TAG_SHUTDOWN,
+    TAG_STREAM_CLOSE,
+    TAG_STREAM_CREATE,
+    TAG_TOPOLOGY_ATTACH,
+)
+from .filter_registry import FilterRegistry
+from .filters import FilterContext, SynchronizationFilter, TransformationFilter
+from .packet import Packet
+from .topology import Topology
+
+__all__ = ["StreamState", "NodeRunner"]
+
+
+@dataclass
+class StreamState:
+    """Per-(node, stream) runtime state: filters, routing and close status."""
+
+    spec: StreamSpec
+    transform: TransformationFilter
+    sync: SynchronizationFilter
+    down_transform: TransformationFilter | None
+    ctx: FilterContext
+    covering: tuple[int, ...]  # children whose subtrees hold stream members
+    closing: bool = False
+    close_acks: set[int] = field(default_factory=set)
+    packets_in: int = 0
+    packets_out: int = 0
+
+
+class NodeRunner:
+    """Event loop for one communication process.
+
+    Args:
+        rank: this process's rank (0 = the front-end's root process).
+        topology: the process tree.
+        transport: bound transport providing inbox and sends.
+        registry: filter registry for resolving stream filters.
+        deliver_up: only at rank 0 — callable receiving final upstream
+            packets (and close/error events) for the application
+            front-end.
+        clock: monotonic time source (overridden by tests).
+    """
+
+    def __init__(
+        self,
+        rank: int,
+        topology: Topology,
+        transport: Any,
+        registry: FilterRegistry,
+        *,
+        deliver_up: Callable[[Envelope], None] | None = None,
+        clock: Callable[[], float] | None = None,
+    ):
+        import time as _time
+
+        self.rank = rank
+        self.topology = topology
+        self.transport = transport
+        self.registry = registry
+        self.deliver_up = deliver_up
+        self.clock = clock or _time.monotonic
+        self.streams: dict[int, StreamState] = {}
+        self.running = False
+        self.error: Exception | None = None
+        self._thread: threading.Thread | None = None
+        self._is_root = rank == topology.root
+        self._children = topology.children(rank)
+        self._parent = topology.parent(rank)
+        self._backend_children = frozenset(
+            c for c in self._children if not topology.children(c)
+        )
+
+    # -- lifecycle ----------------------------------------------------------
+    def start(self) -> "NodeRunner":
+        """Run the event loop on a daemon thread."""
+        self._thread = threading.Thread(
+            target=self.run, name=f"tbon-node-{self.rank}", daemon=True
+        )
+        self.running = True
+        self._thread.start()
+        return self
+
+    def join(self, timeout: float | None = None) -> None:
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+    def run(self) -> None:
+        """Drain the inbox until shutdown; called by :meth:`start`."""
+        inbox = self.transport.inbox(self.rank)
+        self.running = True
+        while self.running:
+            timeout = self._next_timer_delay()
+            try:
+                env = inbox.get(timeout=timeout)
+            except queue.Empty:
+                self._fire_timers()
+                continue
+            except ChannelClosedError:
+                break
+            try:
+                self.handle(env)
+            except Exception as exc:  # surface, don't die silently
+                self.error = exc
+                self._report_error(exc)
+            self._fire_timers()
+
+    # -- timers ----------------------------------------------------------------
+    def _next_timer_delay(self) -> float | None:
+        """Seconds until the earliest sync-filter deadline, or None."""
+        now = self.clock()
+        earliest: float | None = None
+        for st in self.streams.values():
+            d = st.sync.next_deadline()
+            if d is not None and (earliest is None or d < earliest):
+                earliest = d
+        if earliest is None:
+            return None
+        return max(0.0, earliest - now)
+
+    def _fire_timers(self) -> None:
+        now = self.clock()
+        for st in list(self.streams.values()):
+            batches = st.sync.on_timer(now, st.ctx)
+            for batch in batches:
+                self._run_transform(st, batch)
+
+    # -- dispatch ----------------------------------------------------------------
+    def handle(self, env: Envelope) -> None:
+        """Process one envelope (exposed for simulator/tests)."""
+        packet: Packet = env.packet
+        if packet.stream_id == CONTROL_STREAM_ID:
+            self._handle_control(env)
+        elif env.direction is Direction.UPSTREAM:
+            self._handle_data_up(env)
+        else:
+            self._handle_data_down(env)
+
+    # -- control plane -------------------------------------------------------------
+    def _handle_control(self, env: Envelope) -> None:
+        packet: Packet = env.packet
+        tag = packet.tag
+        if tag == TAG_STREAM_CREATE:
+            self._on_stream_create(packet)
+        elif tag == TAG_STREAM_CLOSE:
+            if env.direction is Direction.DOWNSTREAM:
+                self._on_stream_close_down(packet)
+            else:
+                self._on_stream_close_ack(env)
+        elif tag == TAG_FILTER_LOAD:
+            self._on_filter_load(packet)
+        elif tag == TAG_P2P:
+            self._on_p2p(packet)
+        elif tag == TAG_TOPOLOGY_ATTACH:
+            self._on_reconfigure(packet)
+        elif tag == TAG_SHUTDOWN:
+            self._on_shutdown(packet)
+        elif env.direction is Direction.UPSTREAM:
+            # Unknown upstream control (e.g. error reports): forward to root.
+            self._send_root_or_up(env.packet)
+        else:
+            raise ProtocolError(f"unknown control tag {tag} at node {self.rank}")
+
+    def _on_stream_create(self, packet: Packet) -> None:
+        (spec_obj,) = packet.values
+        spec: StreamSpec = spec_obj
+        covering = tuple(self.topology.covering_children(self.rank, spec.members))
+        ctx = FilterContext(
+            node_rank=self.rank,
+            stream_id=spec.stream_id,
+            n_children=len(covering),
+            is_root=self._is_root,
+            depth=self.topology.depth(self.rank),
+            now=self.clock,
+            params=spec.transform_kwargs(),
+        )
+        transform = self.registry.make_transform(
+            spec.transform, **spec.transform_kwargs()
+        )
+        sync = self.registry.make_sync(spec.sync, **spec.sync_kwargs())
+        down = None
+        down_name = getattr(spec, "down_transform", "")
+        if down_name:
+            down = self.registry.make_transform(down_name, **spec.transform_kwargs())
+        self.streams[spec.stream_id] = StreamState(
+            spec=spec,
+            transform=transform,
+            sync=sync,
+            down_transform=down,
+            ctx=ctx,
+            covering=covering,
+        )
+        self._forward_down(packet, covering)
+
+    def _on_stream_close_down(self, packet: Packet) -> None:
+        (stream_id,) = packet.values
+        st = self.streams.get(stream_id)
+        if st is None:
+            raise ProtocolError(f"close for unknown stream {stream_id}")
+        st.closing = True
+        if not st.covering:
+            self._finish_close(st)
+            return
+        self._forward_down(packet, st.covering)
+
+    def _on_stream_close_ack(self, env: Envelope) -> None:
+        (stream_id,) = env.packet.values
+        st = self.streams.get(stream_id)
+        if st is None:
+            return  # already closed (duplicate ack)
+        st.close_acks.add(env.src)
+        if st.closing and st.close_acks >= set(st.covering):
+            self._finish_close(st)
+
+    def _finish_close(self, st: StreamState) -> None:
+        """Drain filters, propagate remaining data, then ack upstream."""
+        for batch in st.sync.flush(st.ctx):
+            self._run_transform(st, batch)
+        for out in st.transform.flush(st.ctx):
+            self._emit_up(st, out)
+        ack = Packet(
+            CONTROL_STREAM_ID, TAG_STREAM_CLOSE, "%d", (st.spec.stream_id,)
+        )
+        del self.streams[st.spec.stream_id]
+        if self._is_root:
+            if self.deliver_up is not None:
+                self.deliver_up(Envelope(self.rank, Direction.UPSTREAM, ack))
+        else:
+            self.transport.send(self.rank, self._parent, Direction.UPSTREAM, ack)
+
+    def _on_filter_load(self, packet: Packet) -> None:
+        name = packet.values[0]
+        kind = packet.values[1]
+        if kind == "transform":
+            self.registry.resolve_transform(name)
+        else:
+            self.registry.resolve_sync(name)
+        self._forward_down(packet, [c for c in self._children if c not in self._backend_children])
+
+    def _on_p2p(self, packet: Packet) -> None:
+        """Route a back-end-to-back-end message through the tree.
+
+        Section 2.1: "The TBON model does not support direct back-end to
+        back-end communication.  However, similar support could be
+        easily achieved, albeit in a sub-optimal manner, by using the
+        internal process-tree to route back-end to back-end messages."
+        The message climbs until its destination lies in the current
+        subtree, then descends along the covering path.
+        """
+        dst = int(packet.values[0])
+        if dst not in self.topology:
+            raise ProtocolError(f"p2p destination {dst} not in topology")
+        if dst in self.topology.subtree_backends(self.rank):
+            (child,) = self.topology.covering_children(self.rank, (dst,))
+            self.transport.send(self.rank, child, Direction.DOWNSTREAM, packet)
+        elif self._is_root:
+            raise ProtocolError(f"p2p destination {dst} is not a back-end")
+        else:
+            self.transport.send(self.rank, self._parent, Direction.UPSTREAM, packet)
+
+    def _on_reconfigure(self, packet: Packet) -> None:
+        """Adopt a reconfigured topology (recovery after a failure).
+
+        Delivered straight into this node's inbox by the recovery
+        machinery (not routed through the tree — the tree is what
+        changed).  Updates routing state and rechecks held waves so
+        packets blocked on a lost child release.
+        """
+        (new_topo,) = packet.values
+        self.topology = new_topo
+        self._children = new_topo.children(self.rank)
+        self._parent = new_topo.parent(self.rank)
+        self._backend_children = frozenset(
+            c for c in self._children if not new_topo.children(c)
+        )
+        for st in self.streams.values():
+            st.covering = tuple(
+                new_topo.covering_children(self.rank, st.spec.members)
+            )
+            st.ctx.n_children = len(st.covering)
+            st.ctx.depth = new_topo.depth(self.rank)
+            for batch in st.sync.recheck(st.ctx, st.covering):
+                self._run_transform(st, batch)
+            if st.closing and st.close_acks >= set(st.covering):
+                self._finish_close(st)
+
+    def _on_shutdown(self, packet: Packet) -> None:
+        self._forward_down(packet, self._children)
+        self.running = False
+
+    def _report_error(self, exc: Exception) -> None:
+        pkt = Packet(
+            CONTROL_STREAM_ID,
+            TAG_ERROR,
+            "%d %s %s",
+            (self.rank, type(exc).__name__, str(exc)),
+        )
+        self._send_root_or_up(pkt)
+
+    def _send_root_or_up(self, pkt: Packet) -> None:
+        if self._is_root:
+            if self.deliver_up is not None:
+                self.deliver_up(Envelope(self.rank, Direction.UPSTREAM, pkt))
+        else:
+            self.transport.send(self.rank, self._parent, Direction.UPSTREAM, pkt)
+
+    # -- data plane -------------------------------------------------------------------
+    def _handle_data_up(self, env: Envelope) -> None:
+        packet: Packet = env.packet
+        st = self.streams.get(packet.stream_id)
+        if st is None:
+            raise ProtocolError(
+                f"upstream data for unknown stream {packet.stream_id} at node {self.rank}"
+            )
+        st.packets_in += 1
+        packet.hop()
+        batches = st.sync.push(packet, env.src, st.ctx)
+        for batch in batches:
+            self._run_transform(st, batch)
+
+    def _run_transform(self, st: StreamState, batch: list[Packet]) -> None:
+        try:
+            outputs = st.transform.execute(batch, st.ctx)
+        except FilterError:
+            raise
+        for out in outputs:
+            self._emit_up(st, out)
+
+    def _emit_up(self, st: StreamState, packet: Packet) -> None:
+        st.packets_out += 1
+        if self._is_root:
+            if self.deliver_up is not None:
+                self.deliver_up(Envelope(self.rank, Direction.UPSTREAM, packet))
+        else:
+            self.transport.send(self.rank, self._parent, Direction.UPSTREAM, packet)
+
+    def _handle_data_down(self, env: Envelope) -> None:
+        packet: Packet = env.packet
+        st = self.streams.get(packet.stream_id)
+        if st is None:
+            raise ProtocolError(
+                f"downstream data for unknown stream {packet.stream_id} at node {self.rank}"
+            )
+        # NB: no per-hop mutation here — downstream packets are shared by
+        # reference across siblings (counted references), so they must be
+        # treated as immutable.
+        if st.down_transform is not None:
+            outputs = st.down_transform.execute([packet], st.ctx)
+        else:
+            outputs = [packet]
+        for out in outputs:
+            self._forward_down(out, st.covering)
+
+    # -- send helpers -----------------------------------------------------------------
+    def _forward_down(self, packet: Packet, children: Any) -> None:
+        """Multicast one packet to ``children`` sharing its payload buffer.
+
+        The shared :class:`~repro.core.packet.PayloadRef` is increffed
+        once per extra recipient — MRNet's counted packet references: one
+        payload object placed in multiple outgoing buffers.
+        """
+        kids = list(children)
+        if not kids:
+            return
+        if len(kids) > 1:
+            packet.payload_ref().incref(len(kids) - 1)
+        for c in kids:
+            self.transport.send(self.rank, c, Direction.DOWNSTREAM, packet)
+
+    # -- introspection -------------------------------------------------------------------
+    def stream_stats(self) -> dict[int, tuple[int, int]]:
+        """Mapping stream id -> (packets_in, packets_out) at this node."""
+        return {
+            sid: (st.packets_in, st.packets_out) for sid, st in self.streams.items()
+        }

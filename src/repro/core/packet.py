@@ -1,0 +1,236 @@
+"""Application-level packets and counted payload references.
+
+A :class:`Packet` is the unit of data flowing through a TBON: it names a
+stream, carries an application *tag*, and holds a typed payload described
+by an MRNet-style format string (see :mod:`repro.core.serialization`).
+
+MRNet's high-performance communication layer "uses counted packet
+references to place a single packet object into multiple outgoing packet
+buffers and performs the requisite garbage collection when the packet is
+no longer referenced".  :class:`PayloadRef` reproduces that design: when
+an internal node multicasts a packet to *k* children, all *k* channel
+entries share one serialized buffer; the buffer's serialization happens
+at most once, and explicit reference counts (observable via
+:class:`PacketStats`) let tests assert the single-copy property.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from .errors import SerializationError
+from .serialization import (
+    pack_payload,
+    payload_nbytes,
+    unpack_payload,
+    validate_values,
+)
+
+__all__ = ["Packet", "PayloadRef", "PacketStats", "make_packet"]
+
+_packet_seq = itertools.count()
+
+
+@dataclass
+class PacketStats:
+    """Counters for payload-buffer behaviour (zero-copy accounting).
+
+    Attributes:
+        serializations: number of times a payload was packed to bytes.
+        buffers_live: number of PayloadRef buffers currently referenced.
+        max_refcount: the largest refcount ever observed on one buffer
+            (``k`` after a k-way multicast that shared a single buffer).
+    """
+
+    serializations: int = 0
+    buffers_live: int = 0
+    max_refcount: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def reset(self) -> None:
+        with self._lock:
+            self.serializations = 0
+            self.buffers_live = 0
+            self.max_refcount = 0
+
+
+#: Process-global stats instance; tests may reset it around a scenario.
+GLOBAL_PACKET_STATS = PacketStats()
+
+
+class PayloadRef:
+    """A reference-counted serialized payload buffer.
+
+    The buffer is created lazily on first :meth:`serialize` and shared by
+    every holder; :meth:`incref`/:meth:`decref` track ownership the same
+    way MRNet's counted packet references do.  When the count reaches
+    zero the buffer is dropped (Python's GC would reclaim it anyway — the
+    explicit count exists so the single-serialization invariant is
+    observable and testable).
+    """
+
+    __slots__ = ("_fmt", "_values", "_buffer", "_refcount", "_lock")
+
+    def __init__(self, fmt: str, values: tuple[Any, ...]):
+        self._fmt = fmt
+        self._values = values
+        self._buffer: bytes | None = None
+        self._refcount = 1
+        self._lock = threading.Lock()
+        with GLOBAL_PACKET_STATS._lock:
+            GLOBAL_PACKET_STATS.buffers_live += 1
+
+    @property
+    def refcount(self) -> int:
+        return self._refcount
+
+    def incref(self, n: int = 1) -> "PayloadRef":
+        with self._lock:
+            self._refcount += n
+            with GLOBAL_PACKET_STATS._lock:
+                if self._refcount > GLOBAL_PACKET_STATS.max_refcount:
+                    GLOBAL_PACKET_STATS.max_refcount = self._refcount
+        return self
+
+    def decref(self, n: int = 1) -> None:
+        with self._lock:
+            self._refcount -= n
+            if self._refcount < 0:
+                raise SerializationError("PayloadRef refcount went negative")
+            if self._refcount == 0:
+                self._buffer = None
+                with GLOBAL_PACKET_STATS._lock:
+                    GLOBAL_PACKET_STATS.buffers_live -= 1
+
+    def serialize(self) -> bytes:
+        """Pack the payload, caching the buffer so packing happens once."""
+        with self._lock:
+            if self._buffer is None:
+                self._buffer = pack_payload(self._fmt, self._values)
+                with GLOBAL_PACKET_STATS._lock:
+                    GLOBAL_PACKET_STATS.serializations += 1
+            return self._buffer
+
+
+class Packet:
+    """One application-level packet.
+
+    Attributes:
+        stream_id: id of the stream this packet belongs to.
+        tag: application-defined integer tag (tags below
+            :data:`repro.core.events.FIRST_APPLICATION_TAG` are reserved
+            for the control plane).
+        fmt: MRNet-style format string describing the payload.
+        src: rank of the originating endpoint (-1 if unknown).
+        hops: number of communication processes traversed so far.
+    """
+
+    __slots__ = ("stream_id", "tag", "fmt", "src", "hops", "seq", "_values", "_ref")
+
+    def __init__(
+        self,
+        stream_id: int,
+        tag: int,
+        fmt: str,
+        values: Sequence[Any],
+        *,
+        src: int = -1,
+        hops: int = 0,
+        _validated: bool = False,
+    ):
+        self.stream_id = int(stream_id)
+        self.tag = int(tag)
+        self.fmt = fmt
+        self.src = int(src)
+        self.hops = int(hops)
+        self.seq = next(_packet_seq)
+        vals = tuple(values) if _validated else validate_values(fmt, values)
+        self._values = vals
+        self._ref: PayloadRef | None = None
+
+    # -- payload access ------------------------------------------------
+    @property
+    def values(self) -> tuple[Any, ...]:
+        """The typed payload values (coerced per the format string)."""
+        return self._values
+
+    def unpack(self) -> tuple[Any, ...]:
+        """MRNet-flavoured alias for :attr:`values`."""
+        return self._values
+
+    def __getitem__(self, idx: int) -> Any:
+        return self._values[idx]
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    # -- serialization ---------------------------------------------------
+    def payload_ref(self) -> PayloadRef:
+        """Return the shared counted payload reference, creating it lazily."""
+        if self._ref is None:
+            self._ref = PayloadRef(self.fmt, self._values)
+        return self._ref
+
+    def nbytes(self) -> int:
+        """Serialized payload size in bytes (without header)."""
+        return payload_nbytes(self.fmt, self._values)
+
+    def to_bytes(self) -> bytes:
+        """Serialize header + payload to a transport frame body."""
+        header = pack_payload(
+            "%d %d %d %d %s", (self.stream_id, self.tag, self.src, self.hops, self.fmt)
+        )
+        body = self.payload_ref().serialize()
+        return pack_payload("%ac %ac", (header, body))
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Packet":
+        """Inverse of :meth:`to_bytes`."""
+        header_raw, body = unpack_payload("%ac %ac", data)
+        stream_id, tag, src, hops, fmt = unpack_payload("%d %d %d %d %s", header_raw)
+        values = unpack_payload(fmt, body)
+        return cls(stream_id, tag, fmt, values, src=src, hops=hops, _validated=True)
+
+    # -- misc -------------------------------------------------------------
+    def with_values(self, values: Sequence[Any], *, fmt: str | None = None) -> "Packet":
+        """A new packet on the same stream/tag with a different payload."""
+        return Packet(
+            self.stream_id,
+            self.tag,
+            self.fmt if fmt is None else fmt,
+            values,
+            src=self.src,
+            hops=self.hops,
+        )
+
+    def hop(self) -> "Packet":
+        """Record traversal of one communication process (in place)."""
+        self.hops += 1
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        vals = ", ".join(
+            f"{v!r}" if not hasattr(v, "shape") else f"<array {getattr(v, 'shape')}>"
+            for v in self._values[:4]
+        )
+        if len(self._values) > 4:
+            vals += ", ..."
+        return (
+            f"Packet(stream={self.stream_id}, tag={self.tag}, fmt={self.fmt!r}, "
+            f"src={self.src}, [{vals}])"
+        )
+
+
+def make_packet(
+    stream_id: int, tag: int, fmt: str, *values: Any, src: int = -1
+) -> Packet:
+    """Convenience constructor: ``make_packet(s, t, "%d %f", 3, 2.5)``."""
+    return Packet(stream_id, tag, fmt, values, src=src)
+
+
+def total_nbytes(packets: Iterable[Packet]) -> int:
+    """Sum of serialized payload sizes for a batch of packets."""
+    return sum(p.nbytes() for p in packets)

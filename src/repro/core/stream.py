@@ -1,0 +1,168 @@
+"""Front-end stream handles.
+
+MRNet applications communicate over *streams* — "virtual channels"
+binding a subset of back-ends to a (transformation, synchronization)
+filter pair.  Multiple streams coexist on one tree and may overlap in
+membership; each keeps independent filter state at every node.
+
+:class:`Stream` is the front-end's handle: ``send`` multicasts downstream
+to the member back-ends, ``recv`` yields the aggregated upstream packets
+emerging from the root filter, and ``close`` runs the loss-free
+tear-down handshake (close broadcast down, per-subtree flush, acks up).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Any
+
+from .errors import FilterError, StreamClosedError
+from .events import (
+    CONTROL_STREAM_ID,
+    Direction,
+    Envelope,
+    StreamSpec,
+    TAG_STREAM_CLOSE,
+)
+from .packet import Packet
+
+__all__ = ["Stream"]
+
+
+class Stream:
+    """One virtual channel between the front-end and member back-ends."""
+
+    def __init__(self, network: Any, spec: StreamSpec):
+        self.network = network
+        self.spec = spec
+        self.stream_id = spec.stream_id
+        self.members = spec.members
+        self._recv_q: "queue.Queue[Packet | Exception]" = queue.Queue()
+        self._closed = threading.Event()
+        self._close_acked = threading.Event()
+
+    # -- called by the front-end dispatcher (root node thread) ------------------
+    def _deliver(self, packet: Packet) -> None:
+        self._recv_q.put(packet)
+
+    def _deliver_error(self, exc: Exception) -> None:
+        self._recv_q.put(exc)
+
+    def _mark_closed(self) -> None:
+        self._close_acked.set()
+        self._closed.set()
+
+    # -- application API -------------------------------------------------------
+    def send(self, tag: int, fmt: str, *values: Any) -> None:
+        """Multicast one packet downstream to all member back-ends."""
+        if self._closed.is_set():
+            raise StreamClosedError(f"stream {self.stream_id} is closed")
+        pkt = Packet(self.stream_id, tag, fmt, values, src=-1)
+        self.network._inject_down(pkt)
+
+    def recv(self, timeout: float | None = None) -> Packet:
+        """Receive the next aggregated packet from the root filter.
+
+        Raises:
+            TimeoutError: nothing arrived in ``timeout`` seconds.
+            FilterError: a filter failed somewhere in the tree (the
+                error is forwarded to the front-end).
+            StreamClosedError: the stream closed and the queue drained.
+        """
+        step = 0.1
+        remaining = timeout
+        while True:
+            if self._closed.is_set() and self._recv_q.empty():
+                raise StreamClosedError(f"stream {self.stream_id} is closed")
+            try:
+                item = self._recv_q.get(
+                    timeout=step if remaining is None else min(step, remaining)
+                )
+            except queue.Empty:
+                if remaining is not None:
+                    remaining -= step
+                    if remaining <= 0:
+                        raise TimeoutError(
+                            f"stream {self.stream_id}: no packet within {timeout}s"
+                        ) from None
+                continue
+            if isinstance(item, Exception):
+                raise item
+            return item
+
+    def recv_nowait(self) -> Packet | None:
+        """Non-blocking receive; None if nothing is queued."""
+        try:
+            item = self._recv_q.get_nowait()
+        except queue.Empty:
+            return None
+        if isinstance(item, Exception):
+            raise item
+        return item
+
+    def drain(self, timeout: float | None = None) -> list[Packet]:
+        """Collect packets until the stream's close ack (then return all).
+
+        Convenience for the common "close then read every remaining
+        aggregate" pattern; must be called *after* :meth:`close_async`.
+        """
+        out: list[Packet] = []
+        if not self._close_acked.wait(timeout) and timeout is not None:
+            raise TimeoutError(f"stream {self.stream_id}: close not acked")
+        while True:
+            try:
+                item = self._recv_q.get_nowait()
+            except queue.Empty:
+                return out
+            if isinstance(item, Exception):
+                raise item
+            out.append(item)
+
+    def iter(self, timeout: float | None = None):
+        """Iterate over aggregated packets until the stream closes.
+
+        Convenience for consumers of unbounded streams (monitoring,
+        epoch queries): yields packets as they arrive; ``timeout``
+        bounds each individual wait.  Stops cleanly at close.
+        """
+        while True:
+            try:
+                yield self.recv(timeout=timeout)
+            except StreamClosedError:
+                return
+
+    def close_async(self) -> None:
+        """Initiate the close handshake without waiting for the ack."""
+        if self._closed.is_set():
+            return
+        pkt = Packet(
+            CONTROL_STREAM_ID, TAG_STREAM_CLOSE, "%d", (self.stream_id,)
+        )
+        self.network._inject_down(pkt)
+
+    def close(self, timeout: float | None = 10.0) -> None:
+        """Close the stream and wait for every subtree to flush and ack."""
+        if self._closed.is_set():
+            return
+        self.close_async()
+        if not self._close_acked.wait(timeout):
+            raise TimeoutError(f"stream {self.stream_id}: close not acked in {timeout}s")
+        self._closed.set()
+
+    @property
+    def is_closed(self) -> bool:
+        return self._closed.is_set()
+
+    def __enter__(self) -> "Stream":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        if not self._closed.is_set():
+            self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Stream(id={self.stream_id}, members={len(self.members)}, "
+            f"transform={self.spec.transform!r}, sync={self.spec.sync!r})"
+        )

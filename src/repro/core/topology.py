@@ -1,0 +1,626 @@
+"""TBON process-tree topologies.
+
+A topology is a rooted tree of processes: the root is the application
+*front-end*, the leaves are *back-ends*, and every other node is a
+*communication process* (MRNet calls these internal processes).  This
+module provides:
+
+* builders for the topology shapes the paper calls out — *flat* (the
+  "1-deep" one-to-many organization), *balanced k-ary* trees of any
+  depth, and *skewed k-nomial* trees;
+* a parser/serializer for MRNet-style topology files
+  (``parent:idx => child:idx child:idx ;``);
+* validation of tree invariants (single root, acyclic, connected);
+* the accounting used in Section 3.2's internal-node overhead claim
+  (fan-out 16 ⇒ 16 extra nodes for 256 back-ends = 6.25%); and
+* dynamic attach/detach of back-ends (MRNet's dynamic topology model).
+
+Nodes are identified by dense integer *ranks*; rank 0 is always the
+front-end.  Each rank also carries a :class:`NodeDesc` naming a host and
+per-host index, mirroring MRNet's ``host:index`` notation (all hosts are
+``"localhost"`` unless a topology file says otherwise).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable, Iterator, Mapping, Sequence
+
+import networkx as nx
+
+from .errors import TopologyError
+
+__all__ = [
+    "NodeDesc",
+    "NodeRole",
+    "Topology",
+    "flat_topology",
+    "balanced_topology",
+    "knomial_topology",
+    "parse_topology_file",
+    "assign_hosts",
+    "internal_node_overhead",
+]
+
+
+@dataclass(frozen=True)
+class NodeDesc:
+    """Host placement of one process, MRNet's ``host:index`` notation."""
+
+    host: str = "localhost"
+    index: int = 0
+
+    def __str__(self) -> str:
+        return f"{self.host}:{self.index}"
+
+
+class NodeRole(Enum):
+    """Role of a process in the TBON (see Figure 1 of the paper)."""
+
+    FRONT_END = "front_end"
+    INTERNAL = "internal"
+    BACK_END = "back_end"
+
+
+class Topology:
+    """An immutable-by-convention rooted process tree.
+
+    The constructor validates all tree invariants; mutation goes through
+    :meth:`attach_backend` / :meth:`detach_backend`, which re-validate.
+
+    Args:
+        children: mapping from parent rank to an ordered sequence of
+            child ranks.  Every rank mentioned anywhere must appear as a
+            key or a child; rank 0 must be the unique root.
+        descs: optional mapping from rank to :class:`NodeDesc`.
+    """
+
+    def __init__(
+        self,
+        children: Mapping[int, Sequence[int]],
+        descs: Mapping[int, NodeDesc] | None = None,
+    ):
+        child_map: dict[int, tuple[int, ...]] = {
+            int(p): tuple(int(c) for c in cs) for p, cs in children.items()
+        }
+        ranks: set[int] = set(child_map)
+        for cs in child_map.values():
+            ranks.update(cs)
+        if not ranks:
+            raise TopologyError("topology is empty")
+        if 0 not in ranks:
+            raise TopologyError("rank 0 (front-end) missing from topology")
+
+        parent: dict[int, int] = {}
+        for p, cs in child_map.items():
+            seen_children: set[int] = set()
+            for c in cs:
+                if c in seen_children:
+                    raise TopologyError(f"rank {c} listed twice under parent {p}")
+                seen_children.add(c)
+                if c in parent:
+                    raise TopologyError(
+                        f"rank {c} has two parents ({parent[c]} and {p})"
+                    )
+                if c == p:
+                    raise TopologyError(f"rank {p} is its own child")
+                parent[c] = p
+        roots = ranks - set(parent)
+        if roots != {0}:
+            raise TopologyError(
+                f"topology must have exactly rank 0 as root, found roots {sorted(roots)}"
+            )
+
+        # Reachability / acyclicity: BFS from the root must visit all ranks.
+        order: list[int] = [0]
+        seen = {0}
+        for r in order:
+            for c in child_map.get(r, ()):
+                if c in seen:
+                    raise TopologyError(f"cycle detected at rank {c}")
+                seen.add(c)
+                order.append(c)
+        if seen != ranks:
+            raise TopologyError(f"unreachable ranks: {sorted(ranks - seen)}")
+
+        self._children = {r: child_map.get(r, ()) for r in ranks}
+        self._parent = parent
+        self._bfs_order = order
+        self._descs = dict(descs) if descs else {}
+        for r in ranks:
+            self._descs.setdefault(r, NodeDesc("localhost", r))
+        self._depth_cache: dict[int, int] | None = None
+        self._subtree_cache: dict[int, frozenset[int]] | None = None
+
+    # -- basic accessors ------------------------------------------------
+    @property
+    def ranks(self) -> list[int]:
+        """All ranks in BFS (root-first) order."""
+        return list(self._bfs_order)
+
+    @property
+    def root(self) -> int:
+        return 0
+
+    def parent(self, rank: int) -> int | None:
+        """Parent rank, or None for the root."""
+        self._check_rank(rank)
+        return self._parent.get(rank)
+
+    def children(self, rank: int) -> tuple[int, ...]:
+        self._check_rank(rank)
+        return self._children[rank]
+
+    def desc(self, rank: int) -> NodeDesc:
+        self._check_rank(rank)
+        return self._descs[rank]
+
+    def __contains__(self, rank: int) -> bool:
+        return rank in self._children
+
+    def __len__(self) -> int:
+        return len(self._children)
+
+    def _check_rank(self, rank: int) -> None:
+        if rank not in self._children:
+            raise TopologyError(f"rank {rank} not in topology")
+
+    # -- roles ------------------------------------------------------------
+    def role(self, rank: int) -> NodeRole:
+        self._check_rank(rank)
+        if rank == 0:
+            return NodeRole.FRONT_END
+        if not self._children[rank]:
+            return NodeRole.BACK_END
+        return NodeRole.INTERNAL
+
+    @property
+    def backends(self) -> list[int]:
+        """Ranks of all back-ends (leaves), in BFS order."""
+        return [r for r in self._bfs_order if r != 0 and not self._children[r]]
+
+    @property
+    def internals(self) -> list[int]:
+        """Ranks of all internal communication processes (non-endpoints)."""
+        return [r for r in self._bfs_order if r != 0 and self._children[r]]
+
+    @property
+    def n_backends(self) -> int:
+        return len(self.backends)
+
+    @property
+    def n_internal(self) -> int:
+        return len(self.internals)
+
+    # -- shape metrics -----------------------------------------------------
+    def depth(self, rank: int | None = None) -> int:
+        """Depth (edge count from the root) of ``rank``, or tree height."""
+        if self._depth_cache is None:
+            cache = {0: 0}
+            for r in self._bfs_order[1:]:
+                cache[r] = cache[self._parent[r]] + 1
+            self._depth_cache = cache
+        if rank is None:
+            return max(self._depth_cache.values())
+        self._check_rank(rank)
+        return self._depth_cache[rank]
+
+    def fanout(self, rank: int) -> int:
+        return len(self.children(rank))
+
+    @property
+    def max_fanout(self) -> int:
+        return max(len(cs) for cs in self._children.values())
+
+    def fanout_histogram(self) -> dict[int, int]:
+        """Mapping fan-out -> number of non-leaf nodes with that fan-out."""
+        hist: dict[int, int] = {}
+        for r, cs in self._children.items():
+            if cs:
+                hist[len(cs)] = hist.get(len(cs), 0) + 1
+        return hist
+
+    def internal_overhead(self) -> float:
+        """Extra (non-endpoint) nodes as a fraction of back-end count.
+
+        This is the Section 3.2 metric: a fan-out-16 tree over 256
+        back-ends needs 16 internal nodes, an overhead of 6.25%.
+        """
+        if self.n_backends == 0:
+            raise TopologyError("topology has no back-ends")
+        return self.n_internal / self.n_backends
+
+    # -- structure queries ---------------------------------------------------
+    def ancestors(self, rank: int) -> list[int]:
+        """Ranks on the path from ``rank``'s parent up to the root."""
+        self._check_rank(rank)
+        path = []
+        r = rank
+        while (p := self._parent.get(r)) is not None:
+            path.append(p)
+            r = p
+        return path
+
+    def path(self, rank: int) -> list[int]:
+        """Ranks from the root down to and including ``rank``."""
+        return list(reversed(self.ancestors(rank))) + [rank]
+
+    def subtree_backends(self, rank: int) -> frozenset[int]:
+        """The set of back-end ranks in the subtree rooted at ``rank``."""
+        if self._subtree_cache is None:
+            cache: dict[int, frozenset[int]] = {}
+            for r in reversed(self._bfs_order):
+                cs = self._children[r]
+                if not cs and r != 0:
+                    cache[r] = frozenset((r,))
+                else:
+                    acc: set[int] = set()
+                    for c in cs:
+                        acc |= cache[c]
+                    cache[r] = frozenset(acc)
+            self._subtree_cache = cache
+        self._check_rank(rank)
+        return self._subtree_cache[rank]
+
+    def covering_children(self, rank: int, members: Iterable[int]) -> list[int]:
+        """Children of ``rank`` whose subtrees contain stream members.
+
+        This is the per-node routing computation for both multicast
+        (downstream) and reduction membership (upstream).
+        """
+        member_set = frozenset(members)
+        return [
+            c for c in self.children(rank) if self.subtree_backends(c) & member_set
+        ]
+
+    def iter_edges(self) -> Iterator[tuple[int, int]]:
+        """All (parent, child) edges in BFS order."""
+        for r in self._bfs_order:
+            for c in self._children[r]:
+                yield (r, c)
+
+    # -- dynamic topology (MRNet dynamic back-end attach) ---------------------
+    def attach_backend(
+        self, parent_rank: int, desc: NodeDesc | None = None
+    ) -> tuple["Topology", int]:
+        """Return a new topology with one more back-end under ``parent_rank``.
+
+        MRNet "supports a more dynamic topology model in which ... back-end
+        processes may join after the internal tree has been instantiated".
+        The new back-end gets the smallest unused rank.
+        """
+        self._check_rank(parent_rank)
+        if self.role(parent_rank) == NodeRole.BACK_END:
+            raise TopologyError(
+                f"cannot attach under rank {parent_rank}: it is a back-end"
+            )
+        new_rank = max(self._children) + 1
+        children = {r: list(cs) for r, cs in self._children.items()}
+        children[parent_rank].append(new_rank)
+        children[new_rank] = []
+        descs = dict(self._descs)
+        descs[new_rank] = desc or NodeDesc("localhost", new_rank)
+        return Topology(children, descs), new_rank
+
+    def detach_backend(self, rank: int) -> "Topology":
+        """Return a new topology with back-end ``rank`` removed."""
+        if self.role(rank) != NodeRole.BACK_END:
+            raise TopologyError(f"rank {rank} is not a back-end")
+        children = {
+            r: [c for c in cs if c != rank]
+            for r, cs in self._children.items()
+            if r != rank
+        }
+        descs = {r: d for r, d in self._descs.items() if r != rank}
+        return Topology(children, descs)
+
+    def replace_subtree_parent(self, failed: int) -> "Topology":
+        """Remove a failed internal node, re-parenting its children.
+
+        The children of ``failed`` are adopted by ``failed``'s parent —
+        the simplest data-preserving reconfiguration from the paper's
+        reliability discussion (ref [2]).  The front-end cannot fail.
+        """
+        if failed == 0:
+            raise TopologyError("cannot remove the front-end")
+        self._check_rank(failed)
+        p = self._parent[failed]
+        children = {r: list(cs) for r, cs in self._children.items() if r != failed}
+        idx = children[p].index(failed)
+        children[p] = (
+            children[p][:idx] + list(self._children[failed]) + children[p][idx + 1 :]
+        )
+        descs = {r: d for r, d in self._descs.items() if r != failed}
+        return Topology(children, descs)
+
+    # -- conversions -----------------------------------------------------------
+    def to_networkx(self) -> nx.DiGraph:
+        """The tree as a networkx DiGraph with parent→child edges."""
+        g = nx.DiGraph()
+        for r in self._bfs_order:
+            g.add_node(r, desc=str(self._descs[r]), role=self.role(r).value)
+        g.add_edges_from(self.iter_edges())
+        return g
+
+    def to_spec(self) -> str:
+        """Serialize to the MRNet topology-file format."""
+        lines = []
+        for r in self._bfs_order:
+            cs = self._children[r]
+            if cs:
+                kids = " ".join(str(self._descs[c]) for c in cs)
+                lines.append(f"{self._descs[r]} => {kids} ;")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Topology(n={len(self)}, backends={self.n_backends}, "
+            f"internal={self.n_internal}, depth={self.depth()}, "
+            f"max_fanout={self.max_fanout})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Builders
+# ---------------------------------------------------------------------------
+
+def flat_topology(n_backends: int) -> Topology:
+    """The paper's "1-deep" (shallow) tree: front-end directly over leaves.
+
+    This is the one-to-many organization whose front-end consolidation
+    cost becomes the bottleneck at large fan-out.
+    """
+    if n_backends < 1:
+        raise TopologyError("flat topology needs at least one back-end")
+    return Topology({0: list(range(1, n_backends + 1))})
+
+
+def balanced_topology(fanout: int, depth: int) -> Topology:
+    """A fully-balanced ``fanout``-ary tree of the given depth.
+
+    ``depth`` counts edge levels below the front-end: depth 1 is the flat
+    tree, depth 2 is the paper's "2-deep" tree with one layer of
+    communication processes, etc.  The number of back-ends is
+    ``fanout ** depth``.
+    """
+    if fanout < 1:
+        raise TopologyError(f"fanout must be >= 1, got {fanout}")
+    if depth < 1:
+        raise TopologyError(f"depth must be >= 1, got {depth}")
+    children: dict[int, list[int]] = {0: []}
+    next_rank = 1
+    frontier = [0]
+    for _level in range(depth):
+        new_frontier = []
+        for r in frontier:
+            kids = list(range(next_rank, next_rank + fanout))
+            next_rank += fanout
+            children[r] = kids
+            for k in kids:
+                children[k] = []
+            new_frontier.extend(kids)
+        frontier = new_frontier
+    return Topology(children)
+
+
+def deep_topology(n_backends: int, max_fanout: int) -> Topology:
+    """A minimal-depth tree over ``n_backends`` with bounded fan-out.
+
+    Unlike :func:`balanced_topology` this accepts an arbitrary back-end
+    count: internal levels are added until every node's fan-out is at
+    most ``max_fanout``, keeping the tree as shallow as possible.  This
+    is how the paper sizes its "deep" trees for leaf counts like 48 or
+    324 that are not perfect powers.
+    """
+    if n_backends < 1:
+        raise TopologyError("need at least one back-end")
+    if max_fanout < 2:
+        raise TopologyError("max_fanout must be >= 2")
+    # Smallest depth such that max_fanout ** depth >= n_backends.
+    depth = 1
+    while max_fanout**depth < n_backends:
+        depth += 1
+    if depth == 1:
+        return flat_topology(n_backends)
+
+    children: dict[int, list[int]] = {0: []}
+    next_rank = 1
+
+    def build(rank: int, leaves: int, levels_remaining: int) -> None:
+        nonlocal next_rank
+        if levels_remaining == 1:
+            kids = list(range(next_rank, next_rank + leaves))
+            next_rank += leaves
+            children[rank] = kids
+            for k in kids:
+                children[k] = []
+            return
+        capacity = max_fanout ** (levels_remaining - 1)
+        n_groups = min(max_fanout, math.ceil(leaves / capacity))
+        # Skip internal levels that would have a single child chain when
+        # the whole group already fits one level down.
+        if n_groups == 1 and leaves <= max_fanout:
+            build(rank, leaves, 1)
+            return
+        base, extra = divmod(leaves, n_groups)
+        kids = []
+        for i in range(n_groups):
+            group = base + (1 if i < extra else 0)
+            if group == 0:
+                continue
+            k = next_rank
+            next_rank += 1
+            kids.append(k)
+            children[k] = []
+            build(k, group, levels_remaining - 1)
+        children[rank] = kids
+
+    build(0, n_backends, depth)
+    return Topology(children)
+
+
+def knomial_topology(k: int, order: int) -> Topology:
+    """A skewed k-nomial tree (the paper's ``k-nomial`` shape).
+
+    A k-nomial tree of the given order has ``k ** order`` nodes in
+    total; the root has ``order * (k - 1)`` children whose subtrees
+    shrink geometrically (the binomial tree is ``k=2``).  In the TBON
+    reading, every node of the k-nomial tree is also given a dedicated
+    back-end leaf so that all k-nomial nodes act as communication
+    processes over ``k ** order`` back-ends.
+    """
+    if k < 2:
+        raise TopologyError(f"k-nomial k must be >= 2, got {k}")
+    if order < 0:
+        raise TopologyError(f"k-nomial order must be >= 0, got {order}")
+    children: dict[int, list[int]] = {0: []}
+    next_rank = 1
+
+    def build(rank: int, o: int) -> None:
+        nonlocal next_rank
+        # Children of a k-nomial node of order o: for each level j < o,
+        # (k-1) subtrees of order j.
+        for j in range(o):
+            for _ in range(k - 1):
+                c = next_rank
+                next_rank += 1
+                children[rank].append(c)
+                children[c] = []
+                build(c, j)
+
+    build(0, order)
+    # Give every comm node (including the root) a back-end leaf.
+    comm_ranks = list(children)
+    for r in comm_ranks:
+        leaf = next_rank
+        next_rank += 1
+        children[r].append(leaf)
+        children[leaf] = []
+    return Topology(children)
+
+
+# ---------------------------------------------------------------------------
+# Topology-file parsing (MRNet format)
+# ---------------------------------------------------------------------------
+
+_NODE_RE = re.compile(r"^(?P<host>[A-Za-z0-9_.\-]+):(?P<index>\d+)$")
+
+
+def parse_topology_file(text: str) -> Topology:
+    """Parse an MRNet-style topology specification.
+
+    The grammar (one statement per ``;``)::
+
+        stmt := node "=>" node+ ";"
+        node := host ":" index
+
+    Comments start with ``#`` and run to end of line.  The first parent
+    of the first statement is the front-end.  Ranks are assigned in
+    order of first appearance.
+    """
+    text = re.sub(r"#[^\n]*", "", text)
+    statements = [s.strip() for s in text.split(";")]
+    statements = [s for s in statements if s]
+    if not statements:
+        raise TopologyError("topology file contains no statements")
+
+    rank_of: dict[str, int] = {}
+    descs: dict[int, NodeDesc] = {}
+    children: dict[int, list[int]] = {}
+
+    def intern(token: str) -> int:
+        m = _NODE_RE.match(token)
+        if not m:
+            raise TopologyError(f"malformed node {token!r} (expected host:index)")
+        if token not in rank_of:
+            rank = len(rank_of)
+            rank_of[token] = rank
+            descs[rank] = NodeDesc(m.group("host"), int(m.group("index")))
+            children[rank] = []
+        return rank_of[token]
+
+    for stmt in statements:
+        parts = stmt.split("=>")
+        if len(parts) != 2:
+            raise TopologyError(f"malformed statement {stmt!r} (expected 'parent => children')")
+        parent_tok = parts[0].strip()
+        child_toks = parts[1].split()
+        if not child_toks:
+            raise TopologyError(f"statement {stmt!r} lists no children")
+        p = intern(parent_tok)
+        for tok in child_toks:
+            c = intern(tok)
+            children[p].append(c)
+    return Topology(children, descs)
+
+
+# ---------------------------------------------------------------------------
+# Host placement
+# ---------------------------------------------------------------------------
+
+def assign_hosts(
+    topology: Topology,
+    hosts: Sequence[str],
+    *,
+    processes_per_host: int | None = None,
+) -> Topology:
+    """Assign tree processes to hosts, MRNet-topology-file style.
+
+    Ranks are placed breadth-first round-robin over ``hosts`` (the
+    front-end always lands on ``hosts[0]``); each process gets the next
+    free index on its host, producing the ``host:index`` identities the
+    topology-file format serializes.  ``processes_per_host`` caps the
+    processes placed on one host (raises if the cluster is too small).
+
+    The result is a *new* topology with identical structure and fresh
+    :class:`NodeDesc` placements.
+    """
+    if not hosts:
+        raise TopologyError("need at least one host")
+    per_host_counts: dict[str, int] = {h: 0 for h in hosts}
+    descs: dict[int, NodeDesc] = {}
+    order = topology.ranks  # BFS: root first
+    for i, rank in enumerate(order):
+        host = hosts[0] if rank == topology.root else hosts[i % len(hosts)]
+        if processes_per_host is not None:
+            # Find the next host with capacity, starting at the hash slot.
+            probe = i
+            while per_host_counts[hosts[probe % len(hosts)]] >= processes_per_host:
+                probe += 1
+                if probe - i > len(hosts):
+                    raise TopologyError(
+                        f"cannot place {len(order)} processes on {len(hosts)} "
+                        f"hosts at {processes_per_host} per host"
+                    )
+            host = hosts[probe % len(hosts)]
+        descs[rank] = NodeDesc(host, per_host_counts[host])
+        per_host_counts[host] += 1
+    children = {r: list(topology.children(r)) for r in topology.ranks}
+    return Topology(children, descs)
+
+
+# ---------------------------------------------------------------------------
+# Overhead accounting (Section 3.2)
+# ---------------------------------------------------------------------------
+
+def internal_node_overhead(fanout: int, n_backends: int) -> tuple[int, float]:
+    """Internal nodes needed to connect ``n_backends`` with bounded fan-out.
+
+    Returns ``(n_internal, fraction)`` where ``fraction`` is the paper's
+    overhead metric: internal nodes as a fraction of back-ends.  For
+    fan-out 16 this yields 16 nodes (6.25%) at 256 back-ends and 272
+    nodes (~6.6%) at 4096 back-ends, matching Section 3.2.
+    """
+    if fanout < 2:
+        raise TopologyError("fanout must be >= 2")
+    if n_backends < 1:
+        raise TopologyError("need at least one back-end")
+    n_internal = 0
+    level = n_backends
+    while level > fanout:
+        level = math.ceil(level / fanout)
+        n_internal += level
+    return n_internal, n_internal / n_backends

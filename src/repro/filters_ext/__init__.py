@@ -1,0 +1,85 @@
+"""Complex tool filters from Sections 2.2-2.3 of the paper.
+
+Importing this package registers the filters with the default registry:
+
+* ``equivalence`` — equivalence-class computation (Figure 2);
+* ``clock_skew`` — tree-based clock-skew composition;
+* ``time_align`` — time-aligned aggregation (stateful);
+* ``histogram`` / ``adaptive_histogram`` — data histograms;
+* ``graph_fold`` — Sub-Graph Folding Algorithm (SGFA);
+* ``graph_merge`` — attribute-accumulating graph union.
+"""
+
+from .clock_skew import (
+    CLOCK_SKEW_FMT,
+    ClockSkewFilter,
+    SkewClock,
+    estimate_edge_offset,
+    serial_skew_detection,
+    tree_skew_detection,
+)
+from .equivalence import (
+    EQUIVALENCE_FMT,
+    EquivalenceClassFilter,
+    EquivalenceClasses,
+    classify,
+)
+from .graph_fold import (
+    GRAPH_FMT,
+    SubGraphFoldFilter,
+    composite_from_payload,
+    composite_to_payload,
+    fold_graphs,
+    graph_root,
+    label_paths,
+    tree_payload,
+)
+from .graph_merge import (
+    GraphMergeFilter,
+    graph_from_payload,
+    graph_to_payload,
+    merge_graphs,
+)
+from .histogram import (
+    ADAPTIVE_HISTOGRAM_FMT,
+    AdaptiveHistogramFilter,
+    HISTOGRAM_FMT,
+    HistogramFilter,
+    histogram_counts,
+    sketch_values,
+)
+from .time_align import TIME_ALIGN_IN_FMT, TIME_ALIGN_OUT_FMT, TimeAlignedAggregator
+
+__all__ = [
+    "EquivalenceClasses",
+    "EquivalenceClassFilter",
+    "classify",
+    "EQUIVALENCE_FMT",
+    "SkewClock",
+    "estimate_edge_offset",
+    "tree_skew_detection",
+    "serial_skew_detection",
+    "ClockSkewFilter",
+    "CLOCK_SKEW_FMT",
+    "TimeAlignedAggregator",
+    "TIME_ALIGN_IN_FMT",
+    "TIME_ALIGN_OUT_FMT",
+    "histogram_counts",
+    "HistogramFilter",
+    "HISTOGRAM_FMT",
+    "sketch_values",
+    "AdaptiveHistogramFilter",
+    "ADAPTIVE_HISTOGRAM_FMT",
+    "graph_root",
+    "label_paths",
+    "fold_graphs",
+    "tree_payload",
+    "composite_to_payload",
+    "composite_from_payload",
+    "SubGraphFoldFilter",
+    "GRAPH_FMT",
+    "merge_graphs",
+    "graph_to_payload",
+    "graph_from_payload",
+    "GraphMergeFilter",
+]

@@ -1,0 +1,134 @@
+"""Equivalence-class filter computation (Figure 2 of the paper).
+
+The paper's central generalization claim: algorithms whose output
+"describes relationships amongst the elements in the datasets" reduce to
+an *equivalence class filter computation* — "the inputs are elements to
+classify (or summarize), the computation is the application of data
+model or statistics to classify the data into the classes they
+represent, and the output is the classified data (or summary of the
+classified data)".
+
+MRNet used exactly this in Paradyn "to suppress redundant information
+communicated by the daemons" at startup: hundreds of daemons report
+near-identical tables (shared libraries, function lists); classifying
+by content collapses them to a handful of classes, each annotated with
+its member set.
+
+Packets carry ``"%as %ad %as"``: class keys, member counts, and
+member-rank strings (comma-joined, capped at ``max_members_per_class``
+representatives so payloads stay bounded).  Merging is a keyed union —
+associative and commutative, hence exact on any tree shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from ..core.errors import FilterError
+from ..core.filter_registry import register_transform
+from ..core.filters import FilterContext, TransformationFilter
+from ..core.packet import Packet
+
+__all__ = [
+    "EquivalenceClasses",
+    "EquivalenceClassFilter",
+    "EQUIVALENCE_FMT",
+    "classify",
+]
+
+#: Packet format: class keys, member counts, representative member lists.
+EQUIVALENCE_FMT = "%as %ad %as"
+
+
+@dataclass
+class EquivalenceClasses:
+    """A set of keyed classes with counts and representative members."""
+
+    counts: dict[str, int] = field(default_factory=dict)
+    members: dict[str, list[str]] = field(default_factory=dict)
+
+    def add(self, key: str, member: str, count: int = 1) -> None:
+        self.counts[key] = self.counts.get(key, 0) + count
+        self.members.setdefault(key, []).append(member)
+
+    def merge(self, other: "EquivalenceClasses", member_cap: int) -> None:
+        for key, n in other.counts.items():
+            self.counts[key] = self.counts.get(key, 0) + n
+            mine = self.members.setdefault(key, [])
+            room = member_cap - len(mine)
+            if room > 0:
+                mine.extend(other.members.get(key, [])[:room])
+
+    @property
+    def n_classes(self) -> int:
+        return len(self.counts)
+
+    @property
+    def total_count(self) -> int:
+        return sum(self.counts.values())
+
+    # -- packet payload conversion ----------------------------------------
+    def to_payload(self) -> tuple[list[str], list[int], list[str]]:
+        keys = sorted(self.counts)
+        return (
+            keys,
+            [self.counts[k] for k in keys],
+            [",".join(self.members.get(k, [])) for k in keys],
+        )
+
+    @classmethod
+    def from_payload(
+        cls, keys: Sequence[str], counts: Sequence, member_strs: Sequence[str]
+    ) -> "EquivalenceClasses":
+        ec = cls()
+        for k, n, ms in zip(keys, counts, member_strs):
+            ec.counts[k] = int(n)
+            ec.members[k] = [m for m in ms.split(",") if m]
+        return ec
+
+
+def classify(
+    items: Mapping[str, object] | Iterable[tuple[str, object]],
+    key_fn=lambda v: str(v),
+) -> EquivalenceClasses:
+    """Classify ``member -> value`` items by ``key_fn(value)``.
+
+    The leaf-side step of Figure 2: apply the data model (here a key
+    function) to map elements onto the classes they represent.
+    """
+    ec = EquivalenceClasses()
+    pairs = items.items() if isinstance(items, Mapping) else items
+    for member, value in pairs:
+        ec.add(key_fn(value), str(member))
+    return ec
+
+
+@register_transform("equivalence")
+class EquivalenceClassFilter(TransformationFilter):
+    """Keyed union of children's equivalence classes.
+
+    Parameters:
+        max_members_per_class: representative-member cap per class
+            (default 16); counts stay exact regardless.
+    """
+
+    def __init__(self, **params):
+        super().__init__(**params)
+        self.member_cap = int(params.get("max_members_per_class", 16))
+        if self.member_cap < 0:
+            raise FilterError("max_members_per_class must be >= 0")
+        self.waves = 0
+
+    def transform(self, packets: Sequence[Packet], ctx: FilterContext) -> Packet:
+        merged = EquivalenceClasses()
+        for p in packets:
+            if p.fmt != EQUIVALENCE_FMT:
+                raise FilterError(
+                    f"equivalence filter expects {EQUIVALENCE_FMT!r}, got {p.fmt!r}"
+                )
+            ec = EquivalenceClasses.from_payload(*p.values)
+            merged.merge(ec, self.member_cap)
+        self.waves += 1
+        keys, counts, members = merged.to_payload()
+        return packets[0].with_values([keys, counts, members])

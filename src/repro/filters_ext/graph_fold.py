@@ -1,0 +1,195 @@
+"""Sub-Graph Folding Algorithm (SGFA) — Roth & Miller's scalable graphs.
+
+Section 2.2 cites "a sub-graph folding algorithm (SGFA) for combining
+sub-graphs of similar qualitative structure into a composite sub-graph"
+as an MRNet filter that sustained thousand-node runs.  The context is
+Paradyn's Distributed Performance Consultant: every daemon produces a
+labelled search-history tree (which hypotheses were tested where), and
+most hosts produce *qualitatively identical* trees — so thousands of
+graphs fold into one composite annotated with host sets.
+
+Model: rooted, node-labelled trees (:class:`networkx.DiGraph`, ``label``
+node attribute, single in-degree-0 root).  Folding identifies nodes by
+their **label path** from the root: every distinct root-to-node label
+sequence becomes one composite node carrying the union of contributing
+hosts and the total fold count.  Path-keyed union makes folding
+associative and commutative — ``fold(fold(A, B), C) == fold(A, B, C)``
+— which is what lets it run as a TBON filter on any tree shape
+(property-tested in the suite).
+
+:class:`SubGraphFoldFilter` is the TBON form: ``"%o"`` payloads, raw
+trees from back-ends, composites between communication processes.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import networkx as nx
+
+from ..core.errors import FilterError
+from ..core.filter_registry import register_transform
+from ..core.filters import FilterContext, TransformationFilter
+from ..core.packet import Packet
+
+__all__ = [
+    "graph_root",
+    "label_paths",
+    "fold_graphs",
+    "composite_to_payload",
+    "composite_from_payload",
+    "tree_payload",
+    "SubGraphFoldFilter",
+    "GRAPH_FMT",
+]
+
+GRAPH_FMT = "%o"
+_SEP = "\x1f"  # unit separator: safe label-path delimiter
+
+
+def graph_root(g: nx.DiGraph):
+    """The unique in-degree-0 node of a rooted tree graph."""
+    roots = [n for n in g.nodes if g.in_degree(n) == 0]
+    if len(roots) != 1:
+        raise FilterError(f"graph must have exactly one root, found {len(roots)}")
+    return roots[0]
+
+
+def label_paths(g: nx.DiGraph) -> dict[str, tuple[set, int]]:
+    """Map each label path to its (host set, count) contribution.
+
+    Raw trees contribute count 1 per node and the graph-level host;
+    composites contribute their stored per-node hosts and counts.
+    """
+    root = graph_root(g)
+    default_hosts = {str(g.graph.get("host", "?"))}
+    out: dict[str, tuple[set, int]] = {}
+
+    def visit(node, path: str) -> None:
+        data = g.nodes[node]
+        label = str(data.get("label", ""))
+        key = path + _SEP + label if path else label
+        hosts = set(data.get("hosts") or default_hosts)
+        count = int(data.get("count", 1))
+        if key in out:
+            h, c = out[key]
+            h |= hosts
+            out[key] = (h, c + count)
+        else:
+            out[key] = (hosts, count)
+        for child in g.successors(node):
+            visit(child, key)
+
+    visit(root, "")
+    return out
+
+
+def fold_graphs(graphs: Sequence[nx.DiGraph]) -> nx.DiGraph:
+    """Fold labelled trees (or composites) into one composite graph.
+
+    Composite nodes are keyed by label path and carry ``label``,
+    ``hosts`` (union over contributors) and ``count`` (total fold
+    multiplicity).  Distinct root labels coexist under a synthetic
+    ``@root`` node so folding never fails — it merely declines to
+    collapse structurally different graphs.
+    """
+    if not graphs:
+        raise FilterError("fold_graphs needs at least one graph")
+    merged: dict[str, tuple[set, int]] = {}
+    for g in graphs:
+        root = graph_root(g)
+        paths = (
+            label_paths_without_shim(g)
+            if g.nodes[root].get("label") == "@root"
+            else label_paths(g)
+        )
+        for key, (hosts, count) in paths.items():
+            if key in merged:
+                h, c = merged[key]
+                merged[key] = (h | hosts, c + count)
+            else:
+                merged[key] = (set(hosts), count)
+
+    composite = nx.DiGraph()
+    composite.add_node("@root", label="@root", hosts=set(), count=0)
+    for key in sorted(merged):
+        hosts, count = merged[key]
+        composite.add_node(key, label=key.rsplit(_SEP, 1)[-1], hosts=hosts, count=count)
+        parent = key.rsplit(_SEP, 1)[0] if _SEP in key else "@root"
+        composite.add_edge(parent, key)
+        composite.nodes["@root"]["hosts"] |= hosts if parent == "@root" else set()
+    return composite
+
+
+def label_paths_without_shim(composite: nx.DiGraph) -> dict[str, tuple[set, int]]:
+    """Label paths of a composite, dropping its ``@root`` shim node.
+
+    Composite node ids *are* their label paths, so this is a direct
+    read-off — re-folding composites costs O(nodes), not O(source
+    trees).
+    """
+    out: dict[str, tuple[set, int]] = {}
+    for n, data in composite.nodes(data=True):
+        if n == "@root":
+            continue
+        out[n] = (set(data.get("hosts") or ()), int(data.get("count", 1)))
+    return out
+
+
+def tree_payload(
+    nodes: Sequence[tuple], edges: Sequence[tuple], host: str
+) -> dict:
+    """Build a back-end ``"%o"`` payload for a raw labelled tree."""
+    return {"kind": "tree", "nodes": list(nodes), "edges": list(edges), "host": host}
+
+
+def composite_to_payload(g: nx.DiGraph) -> dict:
+    return {
+        "kind": "composite",
+        "nodes": [
+            (n, d.get("label", ""), sorted(d.get("hosts", ())), d.get("count", 0))
+            for n, d in g.nodes(data=True)
+        ],
+        "edges": list(g.edges()),
+    }
+
+
+def composite_from_payload(payload: dict) -> nx.DiGraph:
+    g = nx.DiGraph()
+    for n, label, hosts, count in payload["nodes"]:
+        g.add_node(n, label=label, hosts=set(hosts), count=count)
+    g.add_edges_from(payload["edges"])
+    return g
+
+
+def _tree_from_payload(payload: dict) -> nx.DiGraph:
+    g = nx.DiGraph(host=payload.get("host", "?"))
+    for nid, label in payload["nodes"]:
+        g.add_node(nid, label=label)
+    g.add_edges_from(payload["edges"])
+    return g
+
+
+@register_transform("graph_fold")
+class SubGraphFoldFilter(TransformationFilter):
+    """TBON filter form of SGFA.
+
+    Accepts raw-tree payloads (from back-ends; see :func:`tree_payload`)
+    and composite payloads (its own output from lower nodes) in the
+    same batch; emits one composite.
+    """
+
+    def transform(self, packets: Sequence[Packet], ctx: FilterContext) -> Packet:
+        graphs: list[nx.DiGraph] = []
+        for p in packets:
+            payload = p.values[0]
+            if not isinstance(payload, dict) or "kind" not in payload:
+                raise FilterError("graph_fold expects dict payloads with a 'kind'")
+            if payload["kind"] == "tree":
+                graphs.append(_tree_from_payload(payload))
+            elif payload["kind"] == "composite":
+                graphs.append(composite_from_payload(payload))
+            else:
+                raise FilterError(f"unknown graph payload kind {payload['kind']!r}")
+        folded = fold_graphs(graphs)
+        return packets[0].with_values([composite_to_payload(folded)])

@@ -1,0 +1,85 @@
+"""Generic graph-merging filter ("graph merging algorithms" — Section 1).
+
+Unions arbitrary directed graphs up the tree: node sets and edge sets
+union; numeric node/edge attributes accumulate (sum); set-valued
+attributes union.  Unlike :mod:`repro.filters_ext.graph_fold` (which
+collapses *similar* structure), this merge preserves every distinct
+node — think call-graphs from many hosts union-ed into the program's
+global call-graph, with per-edge call counts summed.
+
+Union with attribute summation is associative and commutative, so the
+reduction is exact on any tree shape.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import networkx as nx
+
+from ..core.errors import FilterError
+from ..core.filter_registry import register_transform
+from ..core.filters import FilterContext, TransformationFilter
+from ..core.packet import Packet
+
+__all__ = ["merge_graphs", "graph_to_payload", "graph_from_payload", "GraphMergeFilter"]
+
+
+def _merge_attrs(dst: dict, src: dict) -> None:
+    for k, v in src.items():
+        if k not in dst:
+            dst[k] = set(v) if isinstance(v, (set, frozenset)) else v
+        elif isinstance(v, (int, float)) and isinstance(dst[k], (int, float)):
+            dst[k] = dst[k] + v
+        elif isinstance(v, (set, frozenset)):
+            dst[k] = set(dst[k]) | set(v)
+        # Non-numeric, non-set conflicts keep the first value (stable).
+
+
+def merge_graphs(graphs: Sequence[nx.DiGraph]) -> nx.DiGraph:
+    """Union graphs, summing numeric and union-ing set attributes."""
+    if not graphs:
+        raise FilterError("merge_graphs needs at least one graph")
+    out = nx.DiGraph()
+    for g in graphs:
+        for n, data in g.nodes(data=True):
+            if n not in out:
+                out.add_node(n)
+            _merge_attrs(out.nodes[n], data)
+        for u, v, data in g.edges(data=True):
+            if not out.has_edge(u, v):
+                out.add_edge(u, v)
+            _merge_attrs(out.edges[u, v], data)
+    return out
+
+
+def graph_to_payload(g: nx.DiGraph) -> dict:
+    """Serialize a graph for a ``"%o"`` packet slot."""
+    return {
+        "nodes": [(n, dict(d)) for n, d in g.nodes(data=True)],
+        "edges": [(u, v, dict(d)) for u, v, d in g.edges(data=True)],
+    }
+
+
+def graph_from_payload(payload: dict) -> nx.DiGraph:
+    g = nx.DiGraph()
+    for n, d in payload["nodes"]:
+        g.add_node(n, **d)
+    for u, v, d in payload["edges"]:
+        g.add_edge(u, v, **d)
+    return g
+
+
+@register_transform("graph_merge")
+class GraphMergeFilter(TransformationFilter):
+    """TBON filter: union children's graphs with attribute accumulation."""
+
+    def transform(self, packets: Sequence[Packet], ctx: FilterContext) -> Packet:
+        graphs = []
+        for p in packets:
+            payload = p.values[0]
+            if not isinstance(payload, dict) or "nodes" not in payload:
+                raise FilterError("graph_merge expects graph payloads (%o)")
+            graphs.append(graph_from_payload(payload))
+        merged = merge_graphs(graphs)
+        return packets[0].with_values([graph_to_payload(merged)])

@@ -1,0 +1,129 @@
+"""Data-histogram filters ("creating ... data histograms" — Section 1).
+
+Two variants:
+
+* :class:`HistogramFilter` — fixed, pre-agreed bin edges: leaves send
+  per-bin counts (:func:`histogram_counts`), the tree sums them.  Exact
+  and associative.
+* :class:`AdaptiveHistogramFilter` — no pre-agreed edges: leaves send
+  compact *equi-width sketches* of their local value range; the filter
+  merges sketches by re-binning onto the union range.  The result is an
+  approximate histogram whose total count is exact, demonstrating a
+  reduction whose *output form equals its input form* (property 3 of
+  the paper's data-reduction definition) even when leaves disagree on
+  ranges.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core.errors import FilterError
+from ..core.filter_registry import register_transform
+from ..core.filters import FilterContext, TransformationFilter
+from ..core.packet import Packet
+
+__all__ = [
+    "histogram_counts",
+    "HistogramFilter",
+    "HISTOGRAM_FMT",
+    "sketch_values",
+    "AdaptiveHistogramFilter",
+    "ADAPTIVE_HISTOGRAM_FMT",
+]
+
+#: Fixed-edge payload: bin counts only (edges are stream parameters).
+HISTOGRAM_FMT = "%ad"
+#: Sketch payload: lo, hi, bin counts.
+ADAPTIVE_HISTOGRAM_FMT = "%f %f %ad"
+
+
+def histogram_counts(values: np.ndarray, edges: np.ndarray) -> np.ndarray:
+    """Per-bin counts of ``values`` under fixed ``edges`` (len k+1)."""
+    counts, _ = np.histogram(np.asarray(values, dtype=np.float64), bins=edges)
+    return counts.astype(np.int64)
+
+
+@register_transform("histogram")
+class HistogramFilter(TransformationFilter):
+    """Sum fixed-edge bin counts up the tree (exact)."""
+
+    def __init__(self, **params):
+        super().__init__(**params)
+        self.n_bins = int(params["n_bins"]) if "n_bins" in params else None
+
+    def transform(self, packets: Sequence[Packet], ctx: FilterContext) -> Packet:
+        counts = [np.asarray(p.values[0]) for p in packets]
+        width = {len(c) for c in counts}
+        if len(width) != 1:
+            raise FilterError(f"histogram bin counts differ across children: {width}")
+        if self.n_bins is not None and width != {self.n_bins}:
+            raise FilterError(
+                f"histogram expected {self.n_bins} bins, got {width.pop()}"
+            )
+        return packets[0].with_values([np.sum(counts, axis=0)])
+
+
+def sketch_values(
+    values: np.ndarray, n_bins: int
+) -> tuple[float, float, np.ndarray]:
+    """Equi-width sketch of a value set: (lo, hi, counts)."""
+    v = np.asarray(values, dtype=np.float64)
+    if v.size == 0:
+        return 0.0, 0.0, np.zeros(n_bins, dtype=np.int64)
+    lo, hi = float(v.min()), float(v.max())
+    if lo == hi:
+        hi = lo + 1.0
+    counts, _ = np.histogram(v, bins=np.linspace(lo, hi, n_bins + 1))
+    return lo, hi, counts.astype(np.int64)
+
+
+@register_transform("adaptive_histogram")
+class AdaptiveHistogramFilter(TransformationFilter):
+    """Merge equi-width sketches onto their union range.
+
+    Parameters:
+        n_bins: sketch width (default 32; all children must agree).
+
+    Re-binning assigns each source bin's count to the target bin holding
+    the source bin's center — total counts are preserved exactly, bin
+    placement is approximate within one bin width.
+    """
+
+    def __init__(self, **params):
+        super().__init__(**params)
+        self.n_bins = int(params.get("n_bins", 32))
+        if self.n_bins < 1:
+            raise FilterError("adaptive_histogram needs n_bins >= 1")
+
+    def transform(self, packets: Sequence[Packet], ctx: FilterContext) -> Packet:
+        sketches = []
+        for p in packets:
+            if p.fmt != ADAPTIVE_HISTOGRAM_FMT:
+                raise FilterError(
+                    f"adaptive_histogram expects {ADAPTIVE_HISTOGRAM_FMT!r}, got {p.fmt!r}"
+                )
+            lo, hi, counts = p.values
+            counts = np.asarray(counts)
+            if len(counts) != self.n_bins:
+                raise FilterError(
+                    f"sketch width {len(counts)} != configured {self.n_bins}"
+                )
+            sketches.append((float(lo), float(hi), counts))
+        live = [s for s in sketches if s[2].sum() > 0]
+        if not live:
+            return packets[0].with_values([0.0, 0.0, np.zeros(self.n_bins, np.int64)])
+        lo = min(s[0] for s in live)
+        hi = max(s[1] for s in live)
+        if lo == hi:
+            hi = lo + 1.0
+        merged = np.zeros(self.n_bins, dtype=np.int64)
+        scale = self.n_bins / (hi - lo)
+        for s_lo, s_hi, counts in live:
+            src_width = (s_hi - s_lo) / len(counts)
+            centers = s_lo + (np.arange(len(counts)) + 0.5) * src_width
+            idx = np.clip(((centers - lo) * scale).astype(int), 0, self.n_bins - 1)
+            np.add.at(merged, idx, counts)
+        return packets[0].with_values([lo, hi, merged])

@@ -1,0 +1,144 @@
+"""Time-aligned data aggregation (a stateful MRNet filter).
+
+"Examples of more complex tree-based computations include ... time-
+aligned data aggregation" — aggregating samples from many hosts *by the
+time bin they describe*, not by arrival order.  Hosts sample at slightly
+different moments and messages arrive with different delays, so a node
+must hold partial bins until every child has reported past the bin's
+end (a per-child *watermark*), then emit one aggregated packet per
+completed bin.  This is the canonical use of MRNet's persistent filter
+state.
+
+Packets carry ``"%f %af"``: a sample timestamp and a value vector.
+Emitted packets carry ``"%f %af %ud"``: bin start time, the aggregated
+vector, and the contribution count.  Aggregation is ``sum`` or ``mean``
+(mean is finalized at the root using the carried count — exact on
+unbalanced trees, same trick as the built-in ``avg``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..core.errors import FilterError
+from ..core.filter_registry import register_transform
+from ..core.filters import FilterContext, TransformationFilter
+from ..core.packet import Packet
+
+__all__ = ["TimeAlignedAggregator", "TIME_ALIGN_IN_FMT", "TIME_ALIGN_OUT_FMT"]
+
+TIME_ALIGN_IN_FMT = "%f %af"
+TIME_ALIGN_OUT_FMT = "%f %af %ud"
+
+
+@dataclass
+class _Bin:
+    total: np.ndarray | None = None
+    count: int = 0
+    contributors: set[int] = field(default_factory=set)
+
+
+@register_transform("time_align")
+class TimeAlignedAggregator(TransformationFilter):
+    """Bin-and-watermark aggregation of timestamped samples.
+
+    Parameters:
+        bin_width: seconds per time bin (required, > 0).
+        op: ``"sum"`` (default) or ``"mean"``.
+
+    A bin ``[k·w, (k+1)·w)`` is emitted once every child's watermark
+    (the newest timestamp seen from that child) has passed the bin's
+    end; unfinished bins drain on :meth:`flush` at stream close.
+    """
+
+    def __init__(self, **params):
+        super().__init__(**params)
+        width = params.get("bin_width")
+        if width is None or float(width) <= 0:
+            raise FilterError("time_align requires bin_width > 0")
+        self.bin_width = float(width)
+        op = params.get("op", "sum")
+        if op not in ("sum", "mean"):
+            raise FilterError(f"time_align op must be 'sum' or 'mean', got {op!r}")
+        self.op = op
+        self._bins: dict[int, _Bin] = {}
+        self._watermarks: dict[int, float] = {}
+        self._template: Packet | None = None
+        self.emitted_bins = 0
+
+    # -- helpers ----------------------------------------------------------
+    def _bin_index(self, ts: float) -> int:
+        return math.floor(ts / self.bin_width)
+
+    def _accumulate(self, ts: float, values: np.ndarray, count: int, src: int) -> None:
+        b = self._bins.setdefault(self._bin_index(ts), _Bin())
+        if b.total is None:
+            b.total = values.astype(np.float64).copy()
+        else:
+            if b.total.shape != values.shape:
+                raise FilterError(
+                    f"time_align: value shape changed within a bin "
+                    f"({b.total.shape} vs {values.shape})"
+                )
+            b.total += values
+        b.count += count
+        b.contributors.add(src)
+        self._watermarks[src] = max(self._watermarks.get(src, -np.inf), ts)
+
+    def _emit_ready(self, ctx: FilterContext) -> list[Packet]:
+        if len(self._watermarks) < ctx.n_children:
+            return []
+        horizon = min(self._watermarks.values())
+        ready = sorted(
+            k for k in self._bins if (k + 1) * self.bin_width <= horizon
+        )
+        return [self._emit(k, ctx) for k in ready]
+
+    def _emit(self, k: int, ctx: FilterContext) -> Packet:
+        b = self._bins.pop(k)
+        total = b.total if b.total is not None else np.empty(0)
+        if self.op == "mean" and ctx.is_root and b.count > 0:
+            total = total / b.count
+        self.emitted_bins += 1
+        assert self._template is not None
+        return Packet(
+            self._template.stream_id,
+            self._template.tag,
+            TIME_ALIGN_OUT_FMT,
+            [k * self.bin_width, total, b.count],
+            src=ctx.node_rank,
+        )
+
+    # -- TransformationFilter API ---------------------------------------------
+    def transform(self, packets: Sequence[Packet], ctx: FilterContext) -> None:
+        raise AssertionError("TimeAlignedAggregator overrides execute")
+
+    def execute(self, packets: Sequence[Packet], ctx: FilterContext) -> list[Packet]:
+        for p in packets:
+            if self._template is None:
+                self._template = p
+            if p.fmt == TIME_ALIGN_IN_FMT:
+                ts, values = p.values
+                self._accumulate(float(ts), np.asarray(values), 1, p.src)
+            elif p.fmt == TIME_ALIGN_OUT_FMT:
+                ts, values, count = p.values
+                self._accumulate(float(ts), np.asarray(values), int(count), p.src)
+            else:
+                raise FilterError(
+                    f"time_align expects {TIME_ALIGN_IN_FMT!r} or "
+                    f"{TIME_ALIGN_OUT_FMT!r}, got {p.fmt!r}"
+                )
+        return self._emit_ready(ctx)
+
+    def flush(self, ctx: FilterContext) -> list[Packet]:
+        """Emit all held bins (stream close)."""
+        if self._template is None:
+            return []
+        return [self._emit(k, ctx) for k in sorted(self._bins)]
+
+    def pending_bins(self) -> int:
+        return len(self._bins)

@@ -1,0 +1,30 @@
+"""Distributed model building on TBONs (the paper's Section-4 future work).
+
+Decision and regression trees "built by passing data both directions in
+the tree": model broadcasts flow downstream, statistic reductions flow
+upstream, and cross-validation runs directly on the broadcast models.
+"""
+
+from .datasets import (
+    make_classification_shard,
+    make_regression_shard,
+    union_shards,
+)
+from .dtree import (
+    DecisionTree,
+    TreeNode,
+    distributed_score,
+    fit_distributed,
+    fit_single,
+)
+
+__all__ = [
+    "DecisionTree",
+    "TreeNode",
+    "fit_single",
+    "fit_distributed",
+    "distributed_score",
+    "make_classification_shard",
+    "make_regression_shard",
+    "union_shards",
+]

@@ -1,0 +1,68 @@
+"""Synthetic datasets for the distributed learning extension.
+
+Deterministic, shard-aware generators in the style of
+:mod:`repro.cluster.datagen`: a shard depends only on
+``(seed, shard_index)``, so distributed and single-node fits operate on
+exactly the same union.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.errors import TBONError
+
+__all__ = ["make_classification_shard", "make_regression_shard", "union_shards"]
+
+
+def make_classification_shard(
+    shard: int,
+    n_samples: int = 200,
+    n_features: int = 4,
+    n_classes: int = 3,
+    class_sep: float = 3.0,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Gaussian class blobs in feature space; returns (X, y).
+
+    Class centers are fixed by the seed (shared across shards); each
+    shard draws its own samples, modelling per-host data collection.
+    """
+    if n_classes < 2:
+        raise TBONError("need at least 2 classes")
+    center_rng = np.random.default_rng(seed)
+    centers = center_rng.normal(scale=class_sep, size=(n_classes, n_features))
+    rng = np.random.default_rng(np.random.SeedSequence([seed, 1000 + shard]))
+    labels = rng.integers(0, n_classes, size=n_samples)
+    X = centers[labels] + rng.normal(size=(n_samples, n_features))
+    return X, labels.astype(np.float64)
+
+
+def make_regression_shard(
+    shard: int,
+    n_samples: int = 200,
+    n_features: int = 3,
+    noise: float = 0.1,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """A piecewise-constant target (tree-learnable); returns (X, y).
+
+    The target depends on threshold rules over two features, so an
+    axis-aligned tree of depth >= 2 can represent it exactly up to
+    noise.
+    """
+    rng = np.random.default_rng(np.random.SeedSequence([seed, 2000 + shard]))
+    X = rng.uniform(-1, 1, size=(n_samples, n_features))
+    y = np.where(
+        X[:, 0] <= 0.0,
+        np.where(X[:, 1] <= -0.3, -2.0, 1.0),
+        np.where(X[:, 1] <= 0.4, 0.5, 3.0),
+    )
+    return X, y + rng.normal(scale=noise, size=n_samples)
+
+
+def union_shards(shards: list[tuple[np.ndarray, np.ndarray]]) -> tuple[np.ndarray, np.ndarray]:
+    """Concatenate (X, y) shards — the single-node view of the data."""
+    X = np.concatenate([s[0] for s in shards])
+    y = np.concatenate([s[1] for s in shards])
+    return X, y

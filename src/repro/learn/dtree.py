@@ -1,0 +1,540 @@
+"""Distributed decision/regression trees — the paper's future work, built.
+
+Section 4: "As future work we are looking at using TB̄ONs as a general
+tool that can support other clustering algorithms, or data models such
+as decision and regression trees that can be built by passing data both
+directions in the tree.  This bidirectional communication allows model
+cross-validation or refinement via operations performed directly on the
+models."
+
+This module implements exactly that pattern over a live
+:class:`~repro.core.network.Network`:
+
+* **downstream**: the front-end broadcasts the partial model (the tree
+  grown so far), the frontier node to expand, and the candidate split
+  bins;
+* **upstream**: every back-end routes its local samples through the
+  partial tree, accumulates per-(feature, bin) statistics for the
+  frontier node — class-count histograms for classification,
+  (count, sum, sum-of-squares) for regression — and the built-in
+  ``sum`` filter reduces them;
+* the front-end scores every candidate split from the *global*
+  statistics, grows the tree one node, and repeats.
+
+Because the per-bin statistics are sums, the distributed fit is
+**exactly** the single-node greedy CART fit on the union of the data
+(given the same candidate bins) — asserted by the test suite.  Model
+cross-validation is the same bidirectional pattern
+(:func:`distributed_score`): broadcast the model, reduce
+(correct-count, n) or (squared-error, n).
+
+Candidate bins are equal-width per feature between the *global* minima
+and maxima, themselves obtained with one ``min``/``max`` reduction pair
+— so the whole pipeline, including preprocessing, is TBON-native.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..core.errors import TBONError
+from ..core.events import FIRST_APPLICATION_TAG
+from ..core.network import Network
+
+__all__ = [
+    "TreeNode",
+    "DecisionTree",
+    "fit_single",
+    "fit_distributed",
+    "distributed_score",
+]
+
+_TAG_QUERY = FIRST_APPLICATION_TAG + 50
+_TAG_STATS = FIRST_APPLICATION_TAG + 51
+
+_LEAF = -1
+
+
+@dataclass
+class TreeNode:
+    """One node of a (binary) decision tree.
+
+    Attributes:
+        feature: split feature index, or -1 for a leaf.
+        threshold: split threshold (samples with value <= go left).
+        left/right: child indices into :attr:`DecisionTree.nodes`.
+        prediction: leaf output — class label (classification) or mean
+            target (regression); also kept on internal nodes for pruning.
+        n_samples: training samples that reached this node.
+        impurity: node impurity at fit time (gini or variance).
+    """
+
+    feature: int = _LEAF
+    threshold: float = 0.0
+    left: int = -1
+    right: int = -1
+    prediction: float = 0.0
+    n_samples: int = 0
+    impurity: float = 0.0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature == _LEAF
+
+
+@dataclass
+class DecisionTree:
+    """A fitted CART model (classification or regression).
+
+    ``nodes[0]`` is the root.  The structure is a plain picklable value
+    so it can ride ``%o`` packet slots (models are data in the TBON
+    reading — they flow down the tree like any other multicast).
+    """
+
+    task: str  # "classify" | "regress"
+    n_features: int
+    nodes: list[TreeNode] = field(default_factory=list)
+    classes: np.ndarray | None = None  # label values (classification)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Vectorized prediction for (n, d) inputs."""
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2 or X.shape[1] != self.n_features:
+            raise TBONError(
+                f"expected (n, {self.n_features}) inputs, got {X.shape}"
+            )
+        out = np.empty(len(X))
+        idx = np.zeros(len(X), dtype=np.int64)
+        active = np.arange(len(X))
+        while len(active):
+            node_ids = idx[active]
+            done = []
+            for nid in np.unique(node_ids):
+                node = self.nodes[nid]
+                members = active[node_ids == nid]
+                if node.is_leaf:
+                    out[members] = node.prediction
+                    done.append(members)
+                else:
+                    goes_left = X[members, node.feature] <= node.threshold
+                    idx[members[goes_left]] = node.left
+                    idx[members[~goes_left]] = node.right
+            if done:
+                active = np.setdiff1d(active, np.concatenate(done), assume_unique=True)
+        return out
+
+    def route(self, X: np.ndarray, target_node: int) -> np.ndarray:
+        """Boolean mask of samples whose path reaches ``target_node``."""
+        X = np.asarray(X, dtype=np.float64)
+        mask = np.zeros(len(X), dtype=bool)
+        path = self._path_to(target_node)
+        current = np.ones(len(X), dtype=bool)
+        for nid, go_left in path:
+            node = self.nodes[nid]
+            side = X[:, node.feature] <= node.threshold
+            current &= side if go_left else ~side
+        mask[:] = current
+        return mask
+
+    def _path_to(self, target: int) -> list[tuple[int, bool]]:
+        """(ancestor, went_left) decisions from the root to ``target``."""
+        parent: dict[int, tuple[int, bool]] = {}
+        for i, node in enumerate(self.nodes):
+            if not node.is_leaf:
+                parent[node.left] = (i, True)
+                parent[node.right] = (i, False)
+        path = []
+        nid = target
+        while nid in parent:
+            ancestor, went_left = parent[nid]
+            path.append((ancestor, went_left))
+            nid = ancestor
+        return list(reversed(path))
+
+    @property
+    def depth(self) -> int:
+        def d(nid: int) -> int:
+            node = self.nodes[nid]
+            if node.is_leaf:
+                return 0
+            return 1 + max(d(node.left), d(node.right))
+
+        return d(0) if self.nodes else 0
+
+    @property
+    def n_leaves(self) -> int:
+        return sum(1 for n in self.nodes if n.is_leaf)
+
+
+# ---------------------------------------------------------------------------
+# Statistics and split scoring (shared by single-node and distributed)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class _FitParams:
+    task: str
+    max_depth: int
+    min_samples_split: int
+    min_gain: float
+    n_bins: int
+
+
+def _bin_edges(lo: np.ndarray, hi: np.ndarray, n_bins: int) -> np.ndarray:
+    """Equal-width candidate thresholds per feature: (d, n_bins - 1)."""
+    lo = np.asarray(lo, dtype=np.float64)
+    hi = np.asarray(hi, dtype=np.float64)
+    span = np.where(hi > lo, hi - lo, 1.0)
+    steps = np.arange(1, n_bins) / n_bins
+    return lo[:, None] + span[:, None] * steps[None, :]
+
+
+def _bin_index(X: np.ndarray, edges: np.ndarray) -> np.ndarray:
+    """Bin id per (sample, feature): values <= edge k land in bins <= k."""
+    d = X.shape[1]
+    out = np.empty(X.shape, dtype=np.int64)
+    for f in range(d):
+        out[:, f] = np.searchsorted(edges[f], X[:, f], side="left")
+    return out
+
+
+def _classify_stats(
+    X: np.ndarray, y: np.ndarray, mask: np.ndarray, edges: np.ndarray, n_classes: int
+) -> np.ndarray:
+    """Per-(feature, bin, class) counts for the masked samples."""
+    d, b = edges.shape[0], edges.shape[1] + 1
+    stats = np.zeros((d, b, n_classes))
+    if not mask.any():
+        return stats
+    bins = _bin_index(X[mask], edges)
+    labels = y[mask].astype(np.int64)
+    for f in range(d):
+        np.add.at(stats[f], (bins[:, f], labels), 1.0)
+    return stats
+
+
+def _regress_stats(
+    X: np.ndarray, y: np.ndarray, mask: np.ndarray, edges: np.ndarray
+) -> np.ndarray:
+    """Per-(feature, bin) [count, sum, sumsq] for the masked samples."""
+    d, b = edges.shape[0], edges.shape[1] + 1
+    stats = np.zeros((d, b, 3))
+    if not mask.any():
+        return stats
+    bins = _bin_index(X[mask], edges)
+    ym = y[mask]
+    for f in range(d):
+        np.add.at(stats[f, :, 0], bins[:, f], 1.0)
+        np.add.at(stats[f, :, 1], bins[:, f], ym)
+        np.add.at(stats[f, :, 2], bins[:, f], ym * ym)
+    return stats
+
+
+def _gini(counts: np.ndarray) -> float:
+    total = counts.sum()
+    if total <= 0:
+        return 0.0
+    p = counts / total
+    return float(1.0 - (p * p).sum())
+
+
+def _best_split_classify(
+    stats: np.ndarray, edges: np.ndarray, min_gain: float
+) -> tuple[int, float, float] | None:
+    """Best (feature, threshold, gain) from global class-count stats."""
+    d, b, _c = stats.shape
+    node_counts = stats[0].sum(axis=0)
+    total = node_counts.sum()
+    if total <= 0:
+        return None
+    parent_impurity = _gini(node_counts)
+    best: tuple[int, float, float] | None = None
+    for f in range(d):
+        left = np.cumsum(stats[f], axis=0)  # counts with bin <= k
+        for k in range(b - 1):
+            nl = left[k].sum()
+            nr = total - nl
+            if nl == 0 or nr == 0:
+                continue
+            gain = parent_impurity - (
+                nl / total * _gini(left[k])
+                + nr / total * _gini(node_counts - left[k])
+            )
+            if gain > min_gain and (best is None or gain > best[2]):
+                best = (f, float(edges[f, k]), float(gain))
+    return best
+
+
+def _best_split_regress(
+    stats: np.ndarray, edges: np.ndarray, min_gain: float
+) -> tuple[int, float, float] | None:
+    """Best (feature, threshold, variance reduction) from moment stats."""
+    d, b, _ = stats.shape
+    agg = stats[0].sum(axis=0)
+    total, s, ss = agg
+    if total <= 0:
+        return None
+    parent_var = ss / total - (s / total) ** 2
+    best: tuple[int, float, float] | None = None
+    for f in range(d):
+        left = np.cumsum(stats[f], axis=0)
+        for k in range(b - 1):
+            nl, sl, ssl = left[k]
+            nr, sr, ssr = total - nl, s - sl, ss - ssl
+            if nl == 0 or nr == 0:
+                continue
+            var_l = ssl / nl - (sl / nl) ** 2
+            var_r = ssr / nr - (sr / nr) ** 2
+            gain = parent_var - (nl / total * var_l + nr / total * var_r)
+            if gain > min_gain and (best is None or gain > best[2]):
+                best = (f, float(edges[f, k]), float(gain))
+    return best
+
+
+def _node_from_stats(task: str, stats: np.ndarray, classes) -> TreeNode:
+    """Leaf-style node summary (prediction, count, impurity) from stats."""
+    agg = stats[0].sum(axis=0)
+    if task == "classify":
+        total = agg.sum()
+        pred = float(classes[int(np.argmax(agg))]) if total > 0 else 0.0
+        return TreeNode(prediction=pred, n_samples=int(total), impurity=_gini(agg))
+    total, s, ss = agg
+    mean = s / total if total > 0 else 0.0
+    var = ss / total - mean**2 if total > 0 else 0.0
+    return TreeNode(prediction=float(mean), n_samples=int(total), impurity=float(var))
+
+
+# ---------------------------------------------------------------------------
+# The generic grower: stats come from a callback, so single-node and
+# distributed fits share every line of the split logic.
+# ---------------------------------------------------------------------------
+
+def _grow(
+    tree: DecisionTree,
+    params: _FitParams,
+    edges: np.ndarray,
+    stats_fn,
+) -> DecisionTree:
+    """Grow ``tree`` breadth-first; ``stats_fn(tree, node_id)`` returns
+    the global frontier-node statistics (however they are gathered)."""
+    classes = tree.classes
+    frontier = [(0, 0)]  # (node id, depth)
+    tree.nodes.append(TreeNode())
+    while frontier:
+        nid, depth = frontier.pop(0)
+        stats = stats_fn(tree, nid)
+        summary = _node_from_stats(params.task, stats, classes)
+        node = tree.nodes[nid]
+        node.prediction = summary.prediction
+        node.n_samples = summary.n_samples
+        node.impurity = summary.impurity
+        if (
+            depth >= params.max_depth
+            or summary.n_samples < params.min_samples_split
+            or summary.impurity <= 1e-12
+        ):
+            continue
+        if params.task == "classify":
+            best = _best_split_classify(stats, edges, params.min_gain)
+        else:
+            best = _best_split_regress(stats, edges, params.min_gain)
+        if best is None:
+            continue
+        f, thr, _gain = best
+        node.feature = f
+        node.threshold = thr
+        node.left = len(tree.nodes)
+        tree.nodes.append(TreeNode())
+        node.right = len(tree.nodes)
+        tree.nodes.append(TreeNode())
+        frontier.append((node.left, depth + 1))
+        frontier.append((node.right, depth + 1))
+    return tree
+
+
+def _prepare(task: str, y: np.ndarray) -> np.ndarray | None:
+    if task not in ("classify", "regress"):
+        raise TBONError(f"task must be 'classify' or 'regress', got {task!r}")
+    if task == "classify":
+        return np.unique(np.asarray(y))
+    return None
+
+
+def fit_single(
+    X: np.ndarray,
+    y: np.ndarray,
+    task: str = "classify",
+    *,
+    max_depth: int = 5,
+    min_samples_split: int = 2,
+    min_gain: float = 1e-9,
+    n_bins: int = 16,
+    edges: np.ndarray | None = None,
+) -> DecisionTree:
+    """Single-node greedy CART on binned candidate splits (the baseline)."""
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if X.ndim != 2 or len(X) != len(y):
+        raise TBONError(f"bad shapes X{X.shape} y{y.shape}")
+    params = _FitParams(task, max_depth, min_samples_split, min_gain, n_bins)
+    classes = _prepare(task, y)
+    if edges is None:
+        edges = _bin_edges(X.min(axis=0), X.max(axis=0), n_bins)
+    tree = DecisionTree(task=task, n_features=X.shape[1], classes=classes)
+    label_idx = (
+        np.searchsorted(classes, y) if task == "classify" else None
+    )
+
+    def stats_fn(t: DecisionTree, nid: int) -> np.ndarray:
+        mask = t.route(X, nid)
+        if task == "classify":
+            return _classify_stats(X, label_idx, mask, edges, len(classes))
+        return _regress_stats(X, y, mask, edges)
+
+    return _grow(tree, params, edges, stats_fn)
+
+
+# ---------------------------------------------------------------------------
+# Distributed fit over a live network
+# ---------------------------------------------------------------------------
+
+def fit_distributed(
+    net: Network,
+    leaf_data: dict[int, tuple[np.ndarray, np.ndarray]],
+    task: str = "classify",
+    *,
+    max_depth: int = 5,
+    min_samples_split: int = 2,
+    min_gain: float = 1e-9,
+    n_bins: int = 16,
+    timeout: float = 60.0,
+) -> DecisionTree:
+    """Fit a CART over the union of per-back-end ``(X, y)`` shards.
+
+    Identical output to :func:`fit_single` on the concatenated data
+    (same bins; statistics are associative sums).  Three TBON uses:
+
+    1. ``min``/``max`` reductions establish global per-feature ranges;
+    2. per frontier node: model broadcast down, statistic sums up;
+    3. termination broadcast releases the back-end workers.
+    """
+    backends = net.topology.backends
+    missing = [r for r in backends if r not in leaf_data]
+    if missing:
+        raise TBONError(f"leaf_data missing back-end ranks {missing}")
+    ref_X, ref_y = leaf_data[backends[0]]
+    d = np.asarray(ref_X).shape[1]
+    params = _FitParams(task, max_depth, min_samples_split, min_gain, n_bins)
+    all_y = np.concatenate([np.asarray(leaf_data[r][1], dtype=np.float64) for r in backends])
+    classes = _prepare(task, all_y)
+
+    s_min = net.new_stream(transform="min", sync="wait_for_all")
+    s_max = net.new_stream(transform="max", sync="wait_for_all")
+    s_stats = net.new_stream(transform="sum", sync="wait_for_all")
+
+    def worker(be) -> None:
+        X = np.asarray(leaf_data[be.rank][0], dtype=np.float64)
+        y = np.asarray(leaf_data[be.rank][1], dtype=np.float64)
+        label_idx = np.searchsorted(classes, y) if task == "classify" else None
+        for s in (s_min, s_max, s_stats):
+            be.wait_for_stream(s.stream_id)
+        # Phase 1: global feature ranges.
+        if len(X):
+            be.send(s_min.stream_id, _TAG_STATS, "%af", X.min(axis=0))
+            be.send(s_max.stream_id, _TAG_STATS, "%af", X.max(axis=0))
+        else:
+            be.send(s_min.stream_id, _TAG_STATS, "%af", np.full(d, np.inf))
+            be.send(s_max.stream_id, _TAG_STATS, "%af", np.full(d, -np.inf))
+        # Phase 2: answer frontier queries until the stop signal.
+        while True:
+            pkt = be.recv(timeout=timeout, stream_id=s_stats.stream_id)
+            if pkt.tag != _TAG_QUERY:
+                continue
+            payload = pkt.values[0]
+            if payload is None:
+                return
+            tree, nid, edges = payload
+            mask = tree.route(X, nid) if len(X) else np.zeros(0, dtype=bool)
+            if task == "classify":
+                stats = _classify_stats(X, label_idx, mask, edges, len(classes))
+            else:
+                stats = _regress_stats(X, y, mask, edges)
+            be.send(s_stats.stream_id, _TAG_STATS, "%af", stats.ravel())
+
+    threads = net.run_backends(worker, join=False)
+    try:
+        # min/max of per-leaf minima/maxima: elementwise slot reduction.
+        lo = s_min.recv(timeout=timeout).values[0]
+        hi = s_max.recv(timeout=timeout).values[0]
+        edges = _bin_edges(lo, hi, n_bins)
+        if task == "classify":
+            shape = (d, n_bins, len(classes))
+        else:
+            shape = (d, n_bins, 3)
+        tree = DecisionTree(task=task, n_features=d, classes=classes)
+
+        def stats_fn(t: DecisionTree, nid: int) -> np.ndarray:
+            s_stats.send(_TAG_QUERY, "%o", (t, nid, edges))
+            pkt = s_stats.recv(timeout=timeout)
+            return pkt.values[0].reshape(shape)
+
+        _grow(tree, params, edges, stats_fn)
+        s_stats.send(_TAG_QUERY, "%o", None)  # release the workers
+        return tree
+    finally:
+        for t in threads:
+            t.join(timeout)
+        for s in (s_min, s_max, s_stats):
+            if not s.is_closed:
+                s.close(timeout)
+
+
+def distributed_score(
+    net: Network,
+    tree: DecisionTree,
+    leaf_data: dict[int, tuple[np.ndarray, np.ndarray]],
+    timeout: float = 60.0,
+) -> float:
+    """Cross-validate a model over distributed holdout shards.
+
+    Broadcasts the fitted model downstream; every back-end evaluates it
+    on its local data and a ``sum`` reduction gathers
+    (hits, n) for classification or (squared error, n) for regression.
+    Returns accuracy (classify) or MSE (regress) over the union —
+    the paper's "model cross-validation ... via operations performed
+    directly on the models".
+    """
+    s = net.new_stream(transform="sum", sync="wait_for_all")
+
+    def worker(be) -> None:
+        be.wait_for_stream(s.stream_id)
+        pkt = be.recv(timeout=timeout, stream_id=s.stream_id)
+        model: DecisionTree = pkt.values[0]
+        X, y = leaf_data[be.rank]
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if len(X) == 0:
+            be.send(s.stream_id, _TAG_STATS, "%f %d", 0.0, 0)
+            return
+        pred = model.predict(X)
+        if model.task == "classify":
+            metric = float((pred == y).sum())
+        else:
+            metric = float(((pred - y) ** 2).sum())
+        be.send(s.stream_id, _TAG_STATS, "%f %d", metric, len(X))
+
+    threads = net.run_backends(worker, join=False)
+    try:
+        s.send(_TAG_QUERY, "%o", tree)
+        pkt = s.recv(timeout=timeout)
+        metric, n = pkt.values
+        if n == 0:
+            raise TBONError("no holdout samples on any back-end")
+        return metric / n
+    finally:
+        for t in threads:
+            t.join(timeout)
+        if not s.is_closed:
+            s.close(timeout)

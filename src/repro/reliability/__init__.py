@@ -1,0 +1,6 @@
+"""Failure injection and tree recovery (the paper's dynamic-topology work)."""
+
+from .failure import FailureInjector
+from .recovery import recover_from_failure
+
+__all__ = ["FailureInjector", "recover_from_failure"]

@@ -1,0 +1,77 @@
+"""Tree reconfiguration after a communication-process failure.
+
+The paper's dynamic-topology extension: "communication and back-end
+processes can show up or leave at any time ... and the network properly
+reconfigures and re-routes traffic without any data loss" for data still
+in surviving queues.  Recovery here re-parents the failed node's
+children onto its parent (the minimal structure-preserving repair),
+pushes the new topology to every surviving process, rebinds the
+transport, and rechecks blocked synchronization waves so reductions
+waiting on the lost subtree release.
+
+Guarantees (asserted by the test suite):
+
+* **liveness** — open streams keep working after recovery: new waves
+  from all surviving members aggregate and reach the front-end;
+* **membership consistency** — every surviving process agrees on the
+  new tree; close handshakes complete;
+* packets queued *at* the dead node are lost (the window reference [2]
+  closes with filter-state compensation; that compensation is out of
+  scope here and documented as such in DESIGN.md).
+
+Only the thread transport supports recovery (its ``rebind`` keeps
+surviving queues intact); the TCP transport raises.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import RecoveryError
+from ..core.events import (
+    CONTROL_STREAM_ID,
+    Direction,
+    Envelope,
+    TAG_TOPOLOGY_ATTACH,
+)
+from ..core.network import Network
+from ..core.packet import Packet
+from ..core.topology import Topology
+
+__all__ = ["recover_from_failure"]
+
+
+def recover_from_failure(network: Network, failed_rank: int) -> Topology:
+    """Repair the tree after ``failed_rank`` died; returns the new topology.
+
+    The failed node's children are adopted by its parent.  Every
+    surviving communication process and back-end receives the new
+    topology as a control message delivered directly to its inbox (the
+    tree itself cannot route it — the tree is what broke).
+    """
+    transport = network.transport
+    if not hasattr(transport, "rebind"):
+        raise RecoveryError(
+            f"{type(transport).__name__} does not support live reconfiguration"
+        )
+    old_topo = network.topology
+    if failed_rank not in old_topo:
+        raise RecoveryError(f"rank {failed_rank} not in topology")
+    new_topo = old_topo.replace_subtree_parent(failed_rank)
+    transport.rebind(new_topo)
+    network.topology = new_topo
+
+    dead_node = network.nodes.pop(failed_rank, None)
+    if dead_node is not None and dead_node.running:
+        raise RecoveryError(f"rank {failed_rank} is still running; kill it first")
+
+    reconfig = Packet(
+        CONTROL_STREAM_ID, TAG_TOPOLOGY_ATTACH, "%o", (new_topo,)
+    )
+    for rank, node in network.nodes.items():
+        transport.inbox(rank).put(
+            Envelope(src=-1, direction=Direction.DOWNSTREAM, packet=reconfig)
+        )
+    for rank in new_topo.backends:
+        transport.inbox(rank).put(
+            Envelope(src=-1, direction=Direction.DOWNSTREAM, packet=reconfig)
+        )
+    return new_topo

@@ -1,0 +1,53 @@
+"""Discrete-event performance simulation of TBON experiments.
+
+The functional middleware runs for real (threads/TCP); this package
+answers performance questions at the paper's scales (hundreds to
+thousands of back-ends) with a deterministic event simulator whose cost
+constants are calibrated from the real kernels on this machine — see
+DESIGN.md's substitution table.
+"""
+
+from .calibrate import (
+    MeanShiftCostModel,
+    REFERENCE_MODEL,
+    calibrate_mean_shift,
+    scaled_model,
+)
+from .engine import Server, Simulator
+from .simnet import (
+    PhaseReport,
+    SimCosts,
+    SimStreamingTBON,
+    SimTBON,
+    StreamingReport,
+    WaveMessage,
+)
+from .workload import (
+    FIG4_SCALES,
+    MeanShiftMeta,
+    fig4_scales,
+    meanshift_deep_topology,
+    meanshift_sim,
+    paradyn_report_stream,
+)
+
+__all__ = [
+    "Simulator",
+    "Server",
+    "SimCosts",
+    "SimTBON",
+    "SimStreamingTBON",
+    "PhaseReport",
+    "StreamingReport",
+    "WaveMessage",
+    "MeanShiftCostModel",
+    "REFERENCE_MODEL",
+    "calibrate_mean_shift",
+    "scaled_model",
+    "FIG4_SCALES",
+    "fig4_scales",
+    "MeanShiftMeta",
+    "meanshift_sim",
+    "meanshift_deep_topology",
+    "paradyn_report_stream",
+]

@@ -1,0 +1,124 @@
+"""Deterministic discrete-event simulation engine.
+
+A minimal but complete event core: a priority queue of timestamped
+callbacks plus a serial-server resource.  Determinism matters more than
+features here — events with equal timestamps fire in schedule order
+(the queue is keyed ``(time, seq)``), no wall clock or global RNG is
+consulted, so every simulated experiment is exactly reproducible.
+
+The simulator provides *virtual seconds*; the TBON performance models in
+:mod:`repro.simulate.simnet` schedule link transfers and CPU service on
+top of it.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable
+
+from ..core.errors import SimulationError
+
+__all__ = ["Simulator", "Server"]
+
+
+class Simulator:
+    """Event loop over virtual time."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._seq = itertools.count()
+        self._queue: list[tuple[float, int, Callable[[], None]]] = []
+        self._events_run = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def events_run(self) -> int:
+        return self._events_run
+
+    def schedule(self, delay: float, fn: Callable[[], None]) -> None:
+        """Run ``fn`` ``delay`` virtual seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        heapq.heappush(self._queue, (self._now + delay, next(self._seq), fn))
+
+    def schedule_at(self, time: float, fn: Callable[[], None]) -> None:
+        """Run ``fn`` at absolute virtual time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} (now is {self._now})"
+            )
+        heapq.heappush(self._queue, (time, next(self._seq), fn))
+
+    def run(self, until: float | None = None, max_events: int = 50_000_000) -> float:
+        """Drain the event queue; returns the final virtual time.
+
+        Args:
+            until: stop once virtual time would exceed this (events at
+                exactly ``until`` still run).
+            max_events: safety valve against runaway models.
+        """
+        while self._queue:
+            time, _seq, fn = self._queue[0]
+            if until is not None and time > until:
+                break
+            heapq.heappop(self._queue)
+            self._now = time
+            fn()
+            self._events_run += 1
+            if self._events_run > max_events:
+                raise SimulationError(f"exceeded {max_events} events; runaway model?")
+        return self._now
+
+
+class Server:
+    """A serial FIFO resource (one CPU, one NIC...) in virtual time.
+
+    Work submitted while the server is busy queues behind it; service is
+    non-preemptive and in submission order, which is exactly the
+    behaviour that makes a flat tree's front-end the bottleneck: every
+    arriving message must be serviced serially.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "server"):
+        self.sim = sim
+        self.name = name
+        self._free_at = 0.0
+        self.busy_time = 0.0
+        self.jobs = 0
+        self.max_backlog = 0.0
+
+    def submit(
+        self, duration: float, then: Callable[[], None] | None = None
+    ) -> float:
+        """Enqueue ``duration`` seconds of work; returns completion time.
+
+        ``then`` (if given) runs at the completion instant.
+        """
+        if duration < 0:
+            raise SimulationError(f"negative service time {duration}")
+        start = max(self.sim.now, self._free_at)
+        backlog = start - self.sim.now
+        if backlog > self.max_backlog:
+            self.max_backlog = backlog
+        finish = start + duration
+        self._free_at = finish
+        self.busy_time += duration
+        self.jobs += 1
+        if then is not None:
+            self.sim.schedule_at(finish, then)
+        return finish
+
+    @property
+    def free_at(self) -> float:
+        return self._free_at
+
+    def utilization(self, horizon: float) -> float:
+        """Fraction of ``horizon`` this server spent busy."""
+        if horizon <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / horizon)

@@ -1,0 +1,359 @@
+"""Performance simulation of TBON reductions.
+
+The functional middleware (:mod:`repro.core`) runs real packets through
+real threads or sockets; this module answers the *performance* questions
+at scales a single machine cannot host as OS processes — the paper's
+experiments go to 324 leaves on a Pentium-4/GigE cluster, and its
+overhead argument reaches 4096 back-ends.
+
+:class:`SimTBON` executes one reduction *phase* over an arbitrary
+:class:`~repro.core.topology.Topology` in virtual time, reproducing the
+measurement protocol of Section 3.2: "the measured processing time
+starts with the broadcast of a control message from the front-end that
+instructs the back-ends to initiate [the computation] and ends when the
+results ... are available at the front-end process."
+
+The model (calibrated constants in :class:`SimCosts`):
+
+* every process is a serial server (one CPU): receiving a message costs
+  ``per_msg_cpu + per_byte_cpu × size`` — this serial ingest is what
+  saturates a flat front-end at high fan-out;
+* links have latency plus bandwidth (GigE defaults);
+* leaf work and merge work come from application *cost callbacks*
+  operating on lightweight metadata, so the same harness simulates
+  mean-shift, Paradyn startup, or any other reduction.
+
+A second entry point, :class:`SimStreamingTBON`, models a continuous
+offered load (periodic reports from every back-end) and reports
+front-end utilization and queue growth — the Section 2.2 throughput
+claim ("the front-end could not process data at the rate it was being
+produced by more than 32 daemons").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..core.errors import SimulationError
+from ..core.topology import Topology
+from .engine import Server, Simulator
+
+__all__ = [
+    "SimCosts",
+    "WaveMessage",
+    "PhaseReport",
+    "SimTBON",
+    "StreamingReport",
+    "SimStreamingTBON",
+]
+
+
+@dataclass(frozen=True)
+class SimCosts:
+    """Calibrated machine constants for the performance model.
+
+    Defaults approximate the paper's testbed: ~3 GHz P4 nodes on
+    Gigabit Ethernet.
+
+    Attributes:
+        link_latency: one-way message latency in seconds.
+        link_bandwidth: link bandwidth in bytes/second (1 Gb/s default).
+        per_msg_cpu: fixed CPU cost to receive/dispatch one message.
+        per_byte_cpu: CPU cost per received byte (deserialize + copy).
+        control_msg_bytes: size of the start-phase control message.
+    """
+
+    link_latency: float = 100e-6
+    link_bandwidth: float = 125e6
+    per_msg_cpu: float = 30e-6
+    per_byte_cpu: float = 2e-9
+    control_msg_bytes: int = 64
+
+    def transfer_time(self, nbytes: float) -> float:
+        return self.link_latency + nbytes / self.link_bandwidth
+
+    def recv_time(self, nbytes: float) -> float:
+        return self.per_msg_cpu + nbytes * self.per_byte_cpu
+
+
+@dataclass
+class WaveMessage:
+    """An upstream result in flight: wire size plus application metadata."""
+
+    nbytes: float
+    meta: Any
+
+
+#: Callback computing a leaf's work:  (leaf_rank) -> (cpu_seconds, WaveMessage)
+LeafFn = Callable[[int], tuple[float, WaveMessage]]
+#: Callback computing a merge: (rank, list[WaveMessage]) -> (cpu_seconds, WaveMessage)
+MergeFn = Callable[[int, list[WaveMessage]], tuple[float, WaveMessage]]
+
+
+@dataclass
+class PhaseReport:
+    """Result of one simulated reduction phase."""
+
+    completion_time: float
+    root_result: WaveMessage
+    node_busy: dict[int, float]
+    node_jobs: dict[int, int]
+    max_backlog: dict[int, float]
+
+    def busiest_node(self) -> tuple[int, float]:
+        rank = max(self.node_busy, key=lambda r: self.node_busy[r])
+        return rank, self.node_busy[rank]
+
+
+class SimTBON:
+    """One-phase reduction simulator over a process tree.
+
+    Args:
+        topology: the process tree (any shape).
+        costs: machine constants.
+        leaf_fn: per-leaf compute model.
+        merge_fn: per-node merge model (runs at every non-leaf node on
+            the full set of child results — wait_for_all semantics).
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        costs: SimCosts,
+        leaf_fn: LeafFn,
+        merge_fn: MergeFn,
+        node_speed: Callable[[int], float] | None = None,
+    ):
+        self.topology = topology
+        self.costs = costs
+        self.leaf_fn = leaf_fn
+        self.merge_fn = merge_fn
+        # Per-host CPU speed multiplier (the paper's testbed mixed 2.8
+        # and 3.2 GHz Pentium 4s — heterogeneity matters because
+        # wait_for_all waves complete at the *slowest* child).
+        self.node_speed = node_speed or (lambda rank: 1.0)
+
+    def _cpu(self, rank: int, seconds: float) -> float:
+        speed = self.node_speed(rank)
+        if speed <= 0:
+            raise SimulationError(f"node {rank} speed must be positive, got {speed}")
+        return seconds / speed
+
+    def run(self) -> PhaseReport:
+        topo = self.topology
+        costs = self.costs
+        sim = Simulator()
+        servers = {rank: Server(sim, f"node-{rank}") for rank in topo.ranks}
+        pending: dict[int, list[WaveMessage]] = {r: [] for r in topo.ranks}
+        expected = {r: len(topo.children(r)) for r in topo.ranks}
+        done: dict[str, Any] = {"time": None, "result": None}
+
+        def send_up(rank: int) -> Callable[[WaveMessage], None]:
+            parent = topo.parent(rank)
+
+            def _send(msg: WaveMessage) -> None:
+                if parent is None:
+                    done["time"] = sim.now
+                    done["result"] = msg
+                    return
+                sim.schedule(
+                    costs.transfer_time(msg.nbytes), lambda: arrive(parent, msg)
+                )
+
+            return _send
+
+        def arrive(rank: int, msg: WaveMessage) -> None:
+            # Serial ingest at the receiving node.
+            def ingested() -> None:
+                pending[rank].append(msg)
+                if len(pending[rank]) == expected[rank]:
+                    start_merge(rank)
+
+            servers[rank].submit(self._cpu(rank, costs.recv_time(msg.nbytes)), ingested)
+
+        def start_merge(rank: int) -> None:
+            msgs = pending[rank]
+            cpu, out = self.merge_fn(rank, msgs)
+            servers[rank].submit(self._cpu(rank, cpu), lambda: send_up(rank)(out))
+
+        def start_leaf(rank: int) -> None:
+            cpu, out = self.leaf_fn(rank)
+            servers[rank].submit(self._cpu(rank, cpu), lambda: send_up(rank)(out))
+
+        # Phase start: broadcast the control message down the tree.
+        ctrl = costs.control_msg_bytes
+
+        def broadcast(rank: int) -> None:
+            def dispatched() -> None:
+                kids = topo.children(rank)
+                if not kids:
+                    start_leaf(rank)
+                    return
+                for c in kids:
+                    sim.schedule(
+                        costs.transfer_time(ctrl),
+                        lambda c=c: broadcast(c),
+                    )
+
+            servers[rank].submit(self._cpu(rank, costs.recv_time(ctrl)), dispatched)
+
+        broadcast(topo.root)
+        sim.run()
+        if done["time"] is None:
+            raise SimulationError("phase never completed (model bug?)")
+        return PhaseReport(
+            completion_time=done["time"],
+            root_result=done["result"],
+            node_busy={r: s.busy_time for r, s in servers.items()},
+            node_jobs={r: s.jobs for r, s in servers.items()},
+            max_backlog={r: s.max_backlog for r, s in servers.items()},
+        )
+
+
+@dataclass
+class StreamingReport:
+    """Result of a simulated streaming (continuous-load) run.
+
+    Attributes:
+        horizon: simulated duration in seconds.
+        frontend_utilization: busy fraction of the front-end server.
+        frontend_backlog: front-end queue delay at the horizon (seconds
+            of unprocessed work) — grows without bound when saturated.
+        delivered_waves: aggregated waves the front-end consumed.
+        offered_waves: waves offered by the back-ends.
+        saturated: True when the front-end cannot keep up.
+    """
+
+    horizon: float
+    frontend_utilization: float
+    frontend_backlog: float
+    delivered_waves: int
+    offered_waves: int
+    saturated: bool
+
+
+class SimStreamingTBON:
+    """Continuous offered load: every back-end reports at a fixed rate.
+
+    With ``aggregate=True`` internal nodes combine one report per child
+    into a single parent-bound report of size ``agg_bytes(k, child
+    sizes)`` (filter aggregation); with ``aggregate=False`` every report
+    travels to the front-end individually (the one-to-many baseline —
+    internal nodes, if any, merely forward).
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        costs: SimCosts,
+        *,
+        report_bytes: float,
+        report_interval: float,
+        duration: float,
+        aggregate: bool,
+        merge_cpu: Callable[[int, int], float] | None = None,
+        agg_bytes: Callable[[int, float], float] | None = None,
+        frontend_cpu_per_report: float = 0.0,
+    ):
+        self.topology = topology
+        self.costs = costs
+        self.report_bytes = report_bytes
+        self.report_interval = report_interval
+        self.duration = duration
+        self.aggregate = aggregate
+        # merge_cpu(k_children, total_bytes) -> seconds
+        self.merge_cpu = merge_cpu or (lambda k, nbytes: 5e-6 * k)
+        # agg_bytes(k_children, total_child_bytes) -> merged size
+        self.agg_bytes = agg_bytes or (lambda k, total: total / k)
+        # Application-level analysis cost the front-end pays per report
+        # it consumes (Paradyn: updating per-function curves, display).
+        # Aggregation's whole point is cutting the *number* of reports
+        # the front-end must analyze.
+        self.frontend_cpu_per_report = frontend_cpu_per_report
+
+    def run(self) -> StreamingReport:
+        topo = self.topology
+        costs = self.costs
+        sim = Simulator()
+        servers = {rank: Server(sim, f"node-{rank}") for rank in topo.ranks}
+        root = topo.root
+        delivered = {"n": 0}
+        offered = {"n": 0}
+        # Per-node wave alignment: wave index -> messages so far.
+        waves: dict[int, dict[int, list[float]]] = {
+            r: {} for r in topo.ranks
+        }
+        expected = {r: len(topo.covering_children(r, topo.backends)) for r in topo.ranks}
+
+        def send_to_parent(rank: int, nbytes: float, wave: int) -> None:
+            parent = topo.parent(rank)
+            if parent is None:
+                return
+            sim.schedule(
+                costs.transfer_time(nbytes),
+                lambda: arrive(parent, nbytes, wave),
+            )
+
+        def deliver_at_root() -> None:
+            if self.frontend_cpu_per_report > 0:
+                servers[root].submit(
+                    self.frontend_cpu_per_report,
+                    lambda: delivered.__setitem__("n", delivered["n"] + 1),
+                )
+            else:
+                delivered["n"] += 1
+
+        def arrive(rank: int, nbytes: float, wave: int) -> None:
+            def ingested() -> None:
+                if rank == root and not self.aggregate:
+                    deliver_at_root()
+                    return
+                bucket = waves[rank].setdefault(wave, [])
+                bucket.append(nbytes)
+                if not self.aggregate:
+                    # Forward immediately (no aggregation anywhere).
+                    send_to_parent(rank, nbytes, wave)
+                    waves[rank].pop(wave, None)
+                    return
+                if len(bucket) == expected[rank]:
+                    total = sum(bucket)
+                    waves[rank].pop(wave)
+                    merged = self.agg_bytes(len(bucket), total)
+                    cpu = self.merge_cpu(len(bucket), int(total))
+
+                    def merged_done() -> None:
+                        if rank == root:
+                            deliver_at_root()
+                        else:
+                            send_to_parent(rank, merged, wave)
+
+                    servers[rank].submit(cpu, merged_done)
+
+            servers[rank].submit(costs.recv_time(nbytes), ingested)
+
+        def leaf_report(rank: int, wave: int) -> None:
+            if sim.now > self.duration:
+                return
+            offered["n"] += 1
+            send_to_parent(rank, self.report_bytes, wave)
+            sim.schedule(self.report_interval, lambda: leaf_report(rank, wave + 1))
+
+        for be in topo.backends:
+            sim.schedule(0.0, lambda be=be: leaf_report(be, 0))
+        sim.run(until=self.duration)
+
+        fe = servers[root]
+        backlog = max(0.0, fe.free_at - self.duration)
+        util = fe.utilization(self.duration)
+        # Saturated if the front-end ends the run with a growing backlog
+        # worth more than a handful of report intervals.
+        saturated = backlog > 2 * self.report_interval or util >= 0.999
+        return StreamingReport(
+            horizon=self.duration,
+            frontend_utilization=util,
+            frontend_backlog=backlog,
+            delivered_waves=delivered["n"],
+            offered_waves=offered["n"],
+            saturated=saturated,
+        )

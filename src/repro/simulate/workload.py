@@ -1,0 +1,131 @@
+"""Workload builders: paper experiments expressed as simulator inputs.
+
+Each builder turns a calibrated cost model into the ``leaf_fn``/
+``merge_fn`` callbacks of :class:`repro.simulate.simnet.SimTBON`, or
+configures :class:`~repro.simulate.simnet.SimStreamingTBON` for the
+continuous-load experiments.  The experiment ids match DESIGN.md's
+per-experiment index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.topology import Topology, deep_topology, flat_topology
+from .calibrate import MeanShiftCostModel
+from .simnet import SimCosts, SimTBON, SimStreamingTBON, WaveMessage
+
+__all__ = [
+    "MeanShiftMeta",
+    "meanshift_sim",
+    "meanshift_deep_topology",
+    "fig4_scales",
+    "paradyn_report_stream",
+]
+
+#: The paper's Figure 4 x-axis: input scale factor == back-end count.
+FIG4_SCALES = (16, 32, 48, 64, 128, 256, 324)
+
+
+def fig4_scales() -> tuple[int, ...]:
+    return FIG4_SCALES
+
+
+@dataclass(frozen=True)
+class MeanShiftMeta:
+    """Metadata riding on simulated mean-shift messages."""
+
+    n_points: int
+    n_peaks: int
+
+
+def meanshift_deep_topology(n_backends: int) -> Topology:
+    """The paper's "2-deep" tree: one internal level, √N fan-out."""
+    import math
+
+    f = max(2, math.ceil(math.sqrt(n_backends)))
+    topo = deep_topology(n_backends, max_fanout=f)
+    return topo
+
+
+def meanshift_sim(
+    topology: Topology,
+    model: MeanShiftCostModel,
+    costs: SimCosts | None = None,
+) -> SimTBON:
+    """Simulated distributed mean-shift phase over ``topology``.
+
+    Leaves charge the measured per-leaf time and emit the measured
+    collapsed payload; parents charge the model's merge prediction
+    (seeded searches over the concatenated child data, then collapse)
+    and emit the collapsed union with the workload's true mode count as
+    peaks — exactly the data flow of
+    :class:`repro.cluster.meanshift_filter.MeanShiftFilter`.
+    """
+    costs = costs or SimCosts()
+
+    def leaf_fn(rank: int) -> tuple[float, WaveMessage]:
+        meta = MeanShiftMeta(model.leaf_out_points, model.leaf_out_peaks)
+        return model.leaf_time, WaveMessage(
+            nbytes=model.payload_bytes(meta.n_points, meta.n_peaks), meta=meta
+        )
+
+    def merge_fn(rank: int, msgs: list[WaveMessage]) -> tuple[float, WaveMessage]:
+        n_in = sum(m.meta.n_points for m in msgs)
+        seeds = sum(m.meta.n_peaks for m in msgs)
+        cpu = model.merge_cpu(n_in, seeds)
+        out = MeanShiftMeta(model.collapsed_size(n_in), model.n_modes)
+        return cpu, WaveMessage(
+            nbytes=model.payload_bytes(out.n_points, out.n_peaks), meta=out
+        )
+
+    return SimTBON(topology, costs, leaf_fn, merge_fn)
+
+
+def paradyn_report_stream(
+    n_daemons: int,
+    *,
+    aggregate: bool,
+    fanout: int = 16,
+    n_functions: int = 32,
+    report_interval: float = 0.2,
+    duration: float = 20.0,
+    frontend_analysis_per_function: float = 190e-6,
+    costs: SimCosts | None = None,
+) -> SimStreamingTBON:
+    """The Section 2.2 data-aggregation load (experiment T-throughput).
+
+    Every daemon periodically reports performance data for
+    ``n_functions`` functions (~16 bytes of counters per function).
+    ``aggregate=False`` is Paradyn's original one-to-many organization
+    (a flat tree, every report hits the front-end); ``aggregate=True``
+    is the MRNet organization (fan-out-``fanout`` tree whose filters
+    merge one report per child into one).
+
+    The front-end pays ``frontend_analysis_per_function`` of analysis
+    per function per report it consumes (curve updates, display — the
+    work that actually saturated Paradyn's central manager; the default
+    puts the one-to-many knee near the paper's 32 daemons on P4-era
+    hardware).  The *structural* result is parameter-free: one-to-many
+    front-end load grows ∝ N while the tree's stays ~constant, so for
+    any analysis cost there is a daemon count where only the tree keeps
+    up.
+    """
+    report_bytes = 16.0 * n_functions + 64
+    if aggregate:
+        topo = deep_topology(n_daemons, max_fanout=fanout)
+    else:
+        topo = flat_topology(n_daemons)
+    return SimStreamingTBON(
+        topo,
+        costs or SimCosts(),
+        report_bytes=report_bytes,
+        report_interval=report_interval,
+        duration=duration,
+        aggregate=aggregate,
+        # Merging k function-profiles costs ~linear work in bytes seen.
+        merge_cpu=lambda k, nbytes: 10e-6 + 1e-9 * nbytes,
+        # Aggregated profiles stay one report wide.
+        agg_bytes=lambda k, total: total / k,
+        frontend_cpu_per_report=frontend_analysis_per_function * n_functions,
+    )

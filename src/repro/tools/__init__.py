@@ -1,0 +1,55 @@
+"""Tool-domain TBON applications (the paper's home turf, Section 2.2-2.3).
+
+* :mod:`repro.tools.profiler` — Paradyn-like startup + aggregation;
+* :mod:`repro.tools.monitor` — Ganglia/Supermon-like cluster monitor;
+* :mod:`repro.tools.admin` — Lilith-like task launcher.
+"""
+
+from .admin import TaskRegistry, TaskResult, default_task_registry, run_task
+from .concentrator import Concentrator, ConcentratorFilter, parse_sexpr
+from .consultant import (
+    DiagnosisReport,
+    HostBehaviour,
+    PerformanceConsultant,
+    run_search,
+)
+from .debugger import ParallelDebugger, StackClassReport, SyntheticProcess
+from .monitor import ClusterMonitor, MetricsSnapshot, NodeMetrics
+from .tag import QueryResult, TagService, parse_query
+from .profiler import (
+    StartupReport,
+    calibrate_parse_cost,
+    live_startup,
+    make_symbol_table,
+    parse_symbol_table,
+    simulate_startup,
+)
+
+__all__ = [
+    "StartupReport",
+    "live_startup",
+    "simulate_startup",
+    "make_symbol_table",
+    "parse_symbol_table",
+    "calibrate_parse_cost",
+    "ClusterMonitor",
+    "MetricsSnapshot",
+    "NodeMetrics",
+    "TaskRegistry",
+    "TaskResult",
+    "run_task",
+    "default_task_registry",
+    "ParallelDebugger",
+    "StackClassReport",
+    "SyntheticProcess",
+    "TagService",
+    "QueryResult",
+    "parse_query",
+    "PerformanceConsultant",
+    "DiagnosisReport",
+    "HostBehaviour",
+    "run_search",
+    "Concentrator",
+    "ConcentratorFilter",
+    "parse_sexpr",
+]

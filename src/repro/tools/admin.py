@@ -1,0 +1,127 @@
+"""A Lilith-like scalable task launcher on a TBON.
+
+Section 2.3: Lilith "provides a platform for distributing user code,
+generally system administrative tasks, and launching these tasks across
+heterogeneous systems ... task output is propagated to the root of the
+tree and can be modified en-route by a single user-specified filter."
+
+:func:`run_task` multicasts a task specification down the tree, executes
+it on every back-end, and concatenates per-host outputs upstream —
+optionally through a user-supplied output filter (Lilith's single
+en-route filter).  Tasks are named functions from an explicit
+:class:`TaskRegistry` — never pickled code — so a network cannot be made
+to execute arbitrary payloads (the kind of hygiene a production tool
+would need).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ..core.errors import TBONError
+from ..core.events import FIRST_APPLICATION_TAG
+from ..core.network import Network
+
+__all__ = ["TaskRegistry", "TaskResult", "run_task", "default_task_registry"]
+
+_TAG_TASK = FIRST_APPLICATION_TAG + 40
+_TAG_OUTPUT = FIRST_APPLICATION_TAG + 41
+
+
+class TaskRegistry:
+    """Named task functions ``fn(rank, **kwargs) -> str`` back-ends may run."""
+
+    def __init__(self) -> None:
+        self._tasks: dict[str, Callable[..., str]] = {}
+        self._lock = threading.Lock()
+
+    def register(self, name: str, fn: Callable[..., str]) -> None:
+        with self._lock:
+            if name in self._tasks:
+                raise TBONError(f"task {name!r} already registered")
+            self._tasks[name] = fn
+
+    def get(self, name: str) -> Callable[..., str]:
+        with self._lock:
+            if name not in self._tasks:
+                raise TBONError(f"unknown task {name!r}; registered: {sorted(self._tasks)}")
+            return self._tasks[name]
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._tasks)
+
+
+#: Registry with a few built-in demonstration tasks.
+default_task_registry = TaskRegistry()
+default_task_registry.register(
+    "echo", lambda rank, text="": f"host{rank}: {text}"
+)
+default_task_registry.register(
+    "uname", lambda rank: f"host{rank} tbon-sim 1.0 x86_64"
+)
+default_task_registry.register(
+    "disk_usage", lambda rank, path="/": f"host{rank} {path} {42 + rank}% used"
+)
+
+
+@dataclass
+class TaskResult:
+    """Collected task outputs, one line per back-end."""
+
+    task: str
+    outputs: dict[int, str]
+
+    @property
+    def n_hosts(self) -> int:
+        return len(self.outputs)
+
+
+def run_task(
+    net: Network,
+    task: str,
+    kwargs: dict[str, Any] | None = None,
+    *,
+    registry: TaskRegistry | None = None,
+    timeout: float = 30.0,
+) -> TaskResult:
+    """Execute ``task`` on every back-end; gather outputs at the root.
+
+    Outputs travel on a ``concat`` stream, so the front-end receives one
+    packet with every host's line regardless of tree shape.
+    """
+    registry = registry or default_task_registry
+    registry.get(task)  # fail fast at the front-end for unknown names
+    kwargs = kwargs or {}
+    stream = net.new_stream(transform="concat", sync="wait_for_all")
+
+    def worker(be) -> None:
+        be.wait_for_stream(stream.stream_id)
+        pkt = be.recv(timeout=timeout, stream_id=stream.stream_id)
+        if pkt.tag != _TAG_TASK:
+            raise TBONError(f"back-end {be.rank} expected a task, got tag {pkt.tag}")
+        name, kw = pkt.values[0], pkt.values[1]
+        fn = registry.get(name)
+        try:
+            output = fn(be.rank, **kw)
+        except Exception as exc:  # report failures as output lines
+            output = f"host{be.rank} ERROR: {exc}"
+        be.send(stream.stream_id, _TAG_OUTPUT, "%as", [f"{be.rank}\t{output}"])
+
+    threads = net.run_backends(worker, join=False)
+    stream.send(_TAG_TASK, "%s %o", task, kwargs)
+    pkt = stream.recv(timeout=timeout)
+    for t in threads:
+        t.join(timeout)
+    stream.close(timeout)
+    outputs: dict[int, str] = {}
+    for line in pkt.values[0]:
+        rank_str, _, text = line.partition("\t")
+        outputs[int(rank_str)] = text
+    if set(outputs) != set(net.topology.backends):
+        raise TBONError(
+            f"task covered {len(outputs)} of {net.topology.n_backends} back-ends"
+        )
+    return TaskResult(task=task, outputs=outputs)

@@ -1,0 +1,187 @@
+"""A Distributed-Performance-Consultant-style diagnosis tool.
+
+Section 2.2 credits MRNet's sub-graph folding filter to "the distributed
+performance consultant ... on-line automated performance diagnosis on
+thousands of processes" [24]: every daemon runs a hypothesis search
+("is this host CPU-bound?  in which function?"), producing a labelled
+*search history graph*; most hosts produce structurally identical
+graphs, so SGFA folds thousands of them into one composite the analyst
+can actually read.
+
+This module implements the miniature end to end:
+
+* :class:`HostBehaviour` — a synthetic host with per-function CPU/IO
+  profiles (deterministic per rank);
+* :func:`run_search` — the per-daemon hypothesis refinement: start at
+  ``TopLevelHypothesis``, test children (CPU-bound? sync-bound?
+  IO-bound?), descend into per-function hypotheses where a test
+  exceeds its threshold — exactly the search-history-graph shape of the
+  Performance Consultant;
+* :class:`PerformanceConsultant` — the front-end: broadcasts the search
+  request, folds the per-host graphs with the ``graph_fold`` filter,
+  and reports which hypothesis paths are true on which hosts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+import numpy as np
+
+from ..core.errors import TBONError
+from ..core.events import FIRST_APPLICATION_TAG
+from ..core.network import Network
+from ..filters_ext.graph_fold import (
+    GRAPH_FMT,
+    composite_from_payload,
+    label_paths_without_shim,
+    tree_payload,
+)
+
+__all__ = ["HostBehaviour", "run_search", "DiagnosisReport", "PerformanceConsultant"]
+
+_TAG_SEARCH = FIRST_APPLICATION_TAG + 80
+_TAG_GRAPH = FIRST_APPLICATION_TAG + 81
+
+_FUNCTIONS = ("solve", "exchange", "checkpoint")
+
+
+@dataclass
+class HostBehaviour:
+    """Synthetic per-host metrics driving the hypothesis tests.
+
+    ``profile`` picks one of a few behaviours: most hosts are
+    ``cpu/solve``-bound (the normal case); an unlucky few are
+    ``io/checkpoint``-bound (the anomaly the analyst is hunting).
+    """
+
+    rank: int
+    profile: str = "cpu_solve"
+
+    _PROFILES = {
+        # profile -> (cpu_frac, sync_frac, io_frac, hot_function)
+        "cpu_solve": (0.80, 0.10, 0.05, "solve"),
+        "sync_exchange": (0.30, 0.60, 0.05, "exchange"),
+        "io_checkpoint": (0.20, 0.10, 0.65, "checkpoint"),
+    }
+
+    def __post_init__(self) -> None:
+        if self.profile not in self._PROFILES:
+            raise TBONError(f"unknown profile {self.profile!r}")
+
+    def metric(self, kind: str, function: str | None = None) -> float:
+        """Fraction of time in ``kind`` (cpu/sync/io), optionally by function."""
+        cpu, sync, io, hot = self._PROFILES[self.profile]
+        base = {"cpu": cpu, "sync": sync, "io": io}[kind]
+        rng = np.random.default_rng(
+            np.random.SeedSequence([self.rank, hash((kind, function)) & 0xFFFF])
+        )
+        noise = float(rng.uniform(-0.02, 0.02))
+        if function is None:
+            return base + noise
+        # The hot function carries most of its kind's time.
+        share = 0.8 if function == hot else 0.2 / (len(_FUNCTIONS) - 1)
+        return base * share + noise
+
+
+def run_search(host: HostBehaviour, threshold: float = 0.5) -> dict:
+    """One daemon's hypothesis search; returns a ``%o`` tree payload.
+
+    The search history graph: root ``TopLevel``, children per resource
+    kind that exceeded the threshold, grandchildren per function that
+    carried the time.  Labels are hypothesis names, so structurally
+    identical searches fold across hosts.
+    """
+    nodes = [(0, "TopLevel")]
+    edges = []
+    next_id = 1
+    for kind in ("cpu", "sync", "io"):
+        kind_val = host.metric(kind)
+        kind_id = next_id
+        next_id += 1
+        label = f"{kind}_bound" if kind_val >= threshold else f"{kind}_ok"
+        nodes.append((kind_id, label))
+        edges.append((0, kind_id))
+        if kind_val >= threshold:
+            for fn in _FUNCTIONS:
+                if host.metric(kind, fn) >= threshold * 0.5:
+                    nodes.append((next_id, f"{kind}_in_{fn}"))
+                    edges.append((kind_id, next_id))
+                    next_id += 1
+    return tree_payload(nodes, edges, host=f"host{host.rank}")
+
+
+@dataclass
+class DiagnosisReport:
+    """The folded, cluster-wide diagnosis.
+
+    Attributes:
+        composite: the folded search-history graph.
+        findings: hypothesis path -> (n_hosts, example hosts) for every
+            *positive* leaf hypothesis (``*_in_*`` labels).
+        n_hosts: hosts that contributed a search graph.
+    """
+
+    composite: nx.DiGraph
+    findings: dict[str, tuple[int, list[str]]]
+    n_hosts: int
+
+    def anomalies(self, majority_fraction: float = 0.5) -> dict[str, tuple[int, list[str]]]:
+        """Positive findings on a minority of hosts — the needles."""
+        cutoff = self.n_hosts * majority_fraction
+        return {k: v for k, v in self.findings.items() if v[0] < cutoff}
+
+
+class PerformanceConsultant:
+    """Front-end for cluster-wide automated diagnosis.
+
+    Args:
+        net: the network; each back-end hosts one daemon.
+        profile_of: rank -> behaviour profile (default: all hosts
+            CPU-bound in ``solve`` except one IO-bound straggler).
+    """
+
+    def __init__(self, net: Network, profile_of: dict[int, str] | None = None):
+        self.net = net
+        backends = net.topology.backends
+        if profile_of is None:
+            profile_of = {r: "cpu_solve" for r in backends}
+            if len(backends) > 1:
+                profile_of[backends[-1]] = "io_checkpoint"
+        self.hosts = {r: HostBehaviour(r, profile_of[r]) for r in backends}
+
+    def diagnose(self, threshold: float = 0.5, timeout: float = 30.0) -> DiagnosisReport:
+        """Run one cluster-wide search and fold the history graphs."""
+        stream = self.net.new_stream(transform="graph_fold", sync="wait_for_all")
+
+        def daemon(be) -> None:
+            be.wait_for_stream(stream.stream_id)
+            pkt = be.recv(timeout=timeout, stream_id=stream.stream_id)
+            thr = pkt.values[0]
+            be.send(
+                stream.stream_id, _TAG_GRAPH, GRAPH_FMT,
+                run_search(self.hosts[be.rank], thr),
+            )
+
+        threads = self.net.run_backends(daemon, join=False)
+        try:
+            stream.send(_TAG_SEARCH, "%f", threshold)
+            pkt = stream.recv(timeout=timeout)
+        finally:
+            for t in threads:
+                t.join(timeout)
+            stream.close(timeout)
+        composite = composite_from_payload(pkt.values[0])
+        paths = label_paths_without_shim(composite)
+        findings = {}
+        n_hosts = 0
+        for key, (hosts, _count) in paths.items():
+            labels = key.split("\x1f")
+            if labels == ["TopLevel"]:
+                n_hosts = len(hosts)
+            if "_in_" in labels[-1]:
+                findings[" > ".join(labels[1:])] = (len(hosts), sorted(hosts)[:8])
+        return DiagnosisReport(
+            composite=composite, findings=findings, n_hosts=n_hosts
+        )

@@ -1,0 +1,182 @@
+"""A Ladebug/Ygdrasil-style parallel debugger front-end on a TBON.
+
+Section 2.3: Ygdrasil (from the Ladebug parallel debugger [4]) "uses a
+tree of aggregator nodes to apply user-specified plug-ins to in-flight
+data" with "a synchronous request/response communication model, where
+data flows upward in response to downward control or request messages."
+
+This module reproduces that model: the front-end issues debugger
+commands (request downstream), every debuggee process answers
+(response upstream), and aggregation plug-ins collapse the responses —
+the classic one is grouping thousands of stack traces into a handful of
+equivalence classes ("where is my job stuck?").
+
+The debuggees are synthetic: each back-end hosts a
+:class:`SyntheticProcess` with a deterministic call stack, variables,
+and a program counter, modelling an MPI job with a few distinct
+behaviours (workers in a compute loop, one rank stuck in I/O...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from ..core.errors import TBONError
+from ..core.events import FIRST_APPLICATION_TAG
+from ..core.network import Network
+from ..filters_ext.equivalence import EQUIVALENCE_FMT, EquivalenceClasses, classify
+
+__all__ = ["SyntheticProcess", "StackClassReport", "ParallelDebugger"]
+
+_TAG_CMD = FIRST_APPLICATION_TAG + 60
+_TAG_REPLY = FIRST_APPLICATION_TAG + 61
+
+#: Behaviour profiles a synthetic debuggee can be in.
+_PROFILES = {
+    "compute": ["main", "solver_loop", "stencil_kernel"],
+    "exchange": ["main", "solver_loop", "halo_exchange", "MPI_Waitall"],
+    "io_stuck": ["main", "checkpoint", "write_block", "fsync"],
+}
+
+
+@dataclass
+class SyntheticProcess:
+    """A fake debuggee: stack, pc and a couple of variables."""
+
+    rank: int
+    profile: str
+
+    def __post_init__(self) -> None:
+        if self.profile not in _PROFILES:
+            raise TBONError(f"unknown profile {self.profile!r}")
+
+    @property
+    def stack(self) -> list[str]:
+        return list(_PROFILES[self.profile])
+
+    def read_variable(self, name: str) -> float:
+        rng = np.random.default_rng(np.random.SeedSequence([self.rank, hash(name) & 0xFFFF]))
+        return float(np.round(rng.uniform(0, 100), 3))
+
+    @property
+    def pc(self) -> int:
+        return 0x400000 + 64 * len(self.stack) + self.rank % 4
+
+
+@dataclass
+class StackClassReport:
+    """Aggregated where-is-everyone answer.
+
+    Attributes:
+        classes: stack signature -> (count, example ranks).
+        n_processes: total debuggees that answered.
+    """
+
+    classes: dict[str, tuple[int, list[int]]]
+    n_processes: int
+
+    def dominant(self) -> str:
+        return max(self.classes, key=lambda k: self.classes[k][0])
+
+    def outliers(self) -> dict[str, tuple[int, list[int]]]:
+        """Classes covering < 10% of processes — the stuck-rank detector."""
+        cutoff = max(1, self.n_processes // 10)
+        return {k: v for k, v in self.classes.items() if v[0] <= cutoff}
+
+
+class ParallelDebugger:
+    """Synchronous request/response debugging over a live network.
+
+    Args:
+        net: the network whose back-ends host the debuggees.
+        profile_of: rank -> behaviour profile name; defaults to an
+            "everyone computing except one rank stuck in I/O" job.
+    """
+
+    def __init__(self, net: Network, profile_of: dict[int, str] | None = None):
+        self.net = net
+        backends = net.topology.backends
+        if profile_of is None:
+            profile_of = {r: "compute" for r in backends}
+            if len(backends) > 2:
+                profile_of[backends[1]] = "exchange"
+                profile_of[backends[-1]] = "io_stuck"
+        self.processes = {
+            r: SyntheticProcess(r, profile_of[r]) for r in backends
+        }
+        # Stack aggregation rides the equivalence filter; variable reads
+        # ride concat.  Both streams stay open across commands.
+        self._stack_stream = net.new_stream(
+            transform="equivalence",
+            sync="wait_for_all",
+            transform_params={"max_members_per_class": 64},
+        )
+        self._var_stream = net.new_stream(transform="concat", sync="wait_for_all")
+        self._threads = net.run_backends(self._debuggee, join=False)
+
+    # -- debuggee side ------------------------------------------------------
+    def _debuggee(self, be) -> None:
+        proc = self.processes[be.rank]
+        be.wait_for_stream(self._stack_stream.stream_id)
+        be.wait_for_stream(self._var_stream.stream_id)
+        while True:
+            try:
+                pkt = be.recv(timeout=0.5, stream_id=self._stack_stream.stream_id)
+            except TimeoutError:
+                try:
+                    pkt = be.recv(timeout=0.0, stream_id=self._var_stream.stream_id)
+                except TimeoutError:
+                    continue
+                except Exception:
+                    return
+            except Exception:
+                return  # shutdown
+            if pkt.stream_id == self._stack_stream.stream_id:
+                cmd = pkt.values[0]
+                if cmd == "quit":
+                    return
+                ec = classify(
+                    {str(be.rank): proc}, key_fn=lambda p: ">".join(p.stack)
+                )
+                be.send(
+                    self._stack_stream.stream_id, _TAG_REPLY, EQUIVALENCE_FMT,
+                    *ec.to_payload(),
+                )
+            else:
+                var = pkt.values[0]
+                be.send(
+                    self._var_stream.stream_id, _TAG_REPLY, "%af",
+                    np.array([proc.read_variable(var)]),
+                )
+
+    # -- front-end commands -----------------------------------------------------
+    def where(self, timeout: float = 15.0) -> StackClassReport:
+        """'where' on every process at once, aggregated by stack shape."""
+        self._stack_stream.send(_TAG_CMD, "%s", "where")
+        pkt = self._stack_stream.recv(timeout=timeout)
+        ec = EquivalenceClasses.from_payload(*pkt.values)
+        classes = {
+            key: (ec.counts[key], sorted(int(m) for m in ec.members.get(key, [])))
+            for key in ec.counts
+        }
+        return StackClassReport(classes=classes, n_processes=ec.total_count)
+
+    def print_variable(self, name: str, timeout: float = 15.0) -> np.ndarray:
+        """Gather one variable's value from every process (concat)."""
+        self._var_stream.send(_TAG_CMD, "%s", name)
+        pkt = self._var_stream.recv(timeout=timeout)
+        return pkt.values[0]
+
+    def close(self, timeout: float = 10.0) -> None:
+        try:
+            self._stack_stream.send(_TAG_CMD, "%s", "quit")
+        except Exception:
+            pass
+        for t in self._threads:
+            t.join(timeout)
+        for s in (self._stack_stream, self._var_stream):
+            if not s.is_closed:
+                s.close(timeout)

@@ -1,0 +1,175 @@
+"""A Ganglia/Supermon-like distributed system monitor on a TBON.
+
+Section 2.3 describes cluster monitors as natural TBON applications:
+Ganglia's "multi-level hierarchy in which the level furthest from the
+root ... represent[s] a cluster of nodes and the higher levels represent
+federations of clusters", and Supermon's hierarchies of servers running
+"data concentrators" on monitored data.
+
+:class:`ClusterMonitor` drives periodic metric collection over a live
+network using three *concurrent, overlapping streams* (an MRNet
+flexible-communication-model showcase): one stream reduces with ``min``,
+one with ``max``, one with ``avg`` — same members, different
+aggregations, simultaneously in flight.  A ``time_out`` synchronization
+filter keeps snapshots responsive when stragglers lag.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..core.errors import TBONError
+from ..core.events import FIRST_APPLICATION_TAG
+from ..core.network import Network
+
+__all__ = ["NodeMetrics", "MetricsSnapshot", "ClusterMonitor"]
+
+_TAG_SAMPLE = FIRST_APPLICATION_TAG + 30
+_TAG_REPLY = FIRST_APPLICATION_TAG + 31
+
+#: Metric vector layout: [cpu_pct, mem_mb, net_mbps, load].
+METRIC_NAMES = ("cpu_pct", "mem_mb", "net_mbps", "load")
+
+
+@dataclass
+class NodeMetrics:
+    """One host's metric sample."""
+
+    cpu_pct: float
+    mem_mb: float
+    net_mbps: float
+    load: float
+
+    def to_vector(self) -> np.ndarray:
+        return np.array([self.cpu_pct, self.mem_mb, self.net_mbps, self.load])
+
+
+@dataclass
+class MetricsSnapshot:
+    """One cluster-wide aggregated snapshot."""
+
+    minimum: np.ndarray
+    maximum: np.ndarray
+    average: np.ndarray
+    n_reporting: int
+
+    def as_dict(self) -> dict[str, dict[str, float]]:
+        return {
+            name: {
+                "min": float(self.minimum[i]),
+                "max": float(self.maximum[i]),
+                "avg": float(self.average[i]),
+            }
+            for i, name in enumerate(METRIC_NAMES)
+        }
+
+
+def synthetic_sampler(rank: int, seed: int = 0) -> Callable[[], NodeMetrics]:
+    """A deterministic per-host metric source for examples and tests."""
+    rng = np.random.default_rng(np.random.SeedSequence([seed, rank]))
+
+    def sample() -> NodeMetrics:
+        return NodeMetrics(
+            cpu_pct=float(rng.uniform(5, 95)),
+            mem_mb=float(rng.uniform(256, 2048)),
+            net_mbps=float(rng.uniform(0, 940)),
+            load=float(rng.uniform(0, 16)),
+        )
+
+    return sample
+
+
+class ClusterMonitor:
+    """Snapshot-oriented monitor over a live network.
+
+    Args:
+        net: the network whose back-ends are the monitored hosts.
+        sampler_factory: rank → zero-arg callable producing
+            :class:`NodeMetrics` (defaults to the synthetic source).
+        sync_window: ``time_out`` window for straggler tolerance.
+    """
+
+    def __init__(
+        self,
+        net: Network,
+        sampler_factory: Callable[[int], Callable[[], NodeMetrics]] | None = None,
+        sync_window: float = 0.5,
+    ):
+        self.net = net
+        factory = sampler_factory or synthetic_sampler
+        self._samplers = {r: factory(r) for r in net.topology.backends}
+        # Three concurrent overlapping streams: same members, different
+        # aggregations — MRNet's flexible communication model.
+        self.min_stream = net.new_stream(
+            transform="min", sync="time_out", sync_params={"window": sync_window}
+        )
+        self.max_stream = net.new_stream(
+            transform="max", sync="time_out", sync_params={"window": sync_window}
+        )
+        self.avg_stream = net.new_stream(transform="avg", sync="wait_for_all")
+        self._stop = threading.Event()
+        self._threads = net.run_backends(self._daemon, join=False)
+
+    def _daemon(self, be) -> None:
+        for s in (self.min_stream, self.max_stream, self.avg_stream):
+            be.wait_for_stream(s.stream_id)
+        sampler = self._samplers[be.rank]
+        while not self._stop.is_set():
+            try:
+                # Targeted receive: the monitor owns only its own streams
+                # and must not steal packets bound for other components.
+                pkt = be.recv(timeout=0.5, stream_id=self.avg_stream.stream_id)
+            except TimeoutError:
+                continue
+            except Exception:
+                return  # network shut down
+            if pkt.tag != _TAG_SAMPLE:
+                continue
+            vec = sampler().to_vector()
+            be.send(self.min_stream.stream_id, _TAG_REPLY, "%af", vec)
+            be.send(self.max_stream.stream_id, _TAG_REPLY, "%af", vec)
+            be.send(self.avg_stream.stream_id, _TAG_REPLY, "%af", vec)
+
+    def snapshot(self, timeout: float = 10.0) -> MetricsSnapshot:
+        """Trigger one cluster-wide sample and aggregate it."""
+        # The sample trigger multicasts on the avg stream (any stream
+        # reaches all members; they reply on all three).
+        self.avg_stream.send(_TAG_SAMPLE, "%d", 0)
+        mn = self.min_stream.recv(timeout=timeout).values[0]
+        mx = self.max_stream.recv(timeout=timeout).values[0]
+        av = self.avg_stream.recv(timeout=timeout).values[0]
+        if not (np.all(mn <= av + 1e-9) and np.all(av <= mx + 1e-9)):
+            raise TBONError("aggregation invariant violated: min <= avg <= max")
+        return MetricsSnapshot(
+            minimum=mn,
+            maximum=mx,
+            average=av,
+            n_reporting=self.net.topology.n_backends,
+        )
+
+    def watch(
+        self, n_snapshots: int, interval: float = 0.0, timeout: float = 10.0
+    ) -> list[MetricsSnapshot]:
+        """Collect a series of snapshots (a monitoring session).
+
+        ``interval`` seconds elapse between trigger broadcasts; 0 means
+        back-to-back rounds (rounds are still wave-aligned per stream).
+        """
+        import time as _time
+
+        out = []
+        for i in range(n_snapshots):
+            if i and interval > 0:
+                _time.sleep(interval)
+            out.append(self.snapshot(timeout=timeout))
+        return out
+
+    def close(self, timeout: float = 5.0) -> None:
+        self._stop.set()
+        for s in (self.min_stream, self.max_stream, self.avg_stream):
+            if not s.is_closed:
+                s.close(timeout)

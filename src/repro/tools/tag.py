@@ -1,0 +1,218 @@
+"""A TAG-style declarative aggregation interface (Madden et al. [21]).
+
+Section 2.3: "TAG [21] is a tree-based, aggregation infrastructure for
+sensor networks; TAG provides a database-like SQL interface that allows
+users to express simple, declarative queries that execute in a
+distributed manner on the nodes of the sensor network ... TAG supports
+multiple simultaneous aggregation operations and supports streams of
+aggregated data in response to an aggregation request."
+
+This module maps that interface onto the TBON middleware: a tiny SQL
+dialect compiles to streams + built-in filters, with selection
+predicates evaluated at the leaves (in-network filtering) and
+aggregation in-flight:
+
+    SELECT avg(cpu), max(mem) FROM sensors WHERE cpu > 20 EPOCH 3
+
+grammar::
+
+    query   := SELECT agg ("," agg)* FROM name [WHERE pred] [EPOCH n]
+    agg     := (min|max|avg|sum|count) "(" attr ")"
+    pred    := attr (<|<=|>|>=|=|!=) number
+
+``EPOCH n`` asks for *n* rounds of the aggregate (TAG's "streams of
+aggregated data in response to an aggregation request"); each round the
+leaves sample their sensor, apply the predicate locally, and the tree
+reduces only the surviving readings.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..core.errors import TBONError
+from ..core.events import FIRST_APPLICATION_TAG
+from ..core.network import Network
+
+__all__ = ["Query", "parse_query", "TagService", "QueryResult"]
+
+_TAG_SAMPLE = FIRST_APPLICATION_TAG + 70
+_TAG_DATA = FIRST_APPLICATION_TAG + 71
+
+_AGGS = ("min", "max", "avg", "sum", "count")
+_OPS: dict[str, Callable[[float, float], bool]] = {
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+}
+
+_QUERY_RE = re.compile(
+    r"^\s*SELECT\s+(?P<aggs>.+?)\s+FROM\s+(?P<table>\w+)"
+    r"(?:\s+WHERE\s+(?P<attr>\w+)\s*(?P<op><=|>=|!=|<|>|=)\s*(?P<val>-?[\d.]+))?"
+    r"(?:\s+EPOCH\s+(?P<epochs>\d+))?\s*$",
+    re.IGNORECASE,
+)
+_AGG_RE = re.compile(r"^(?P<fn>\w+)\s*\(\s*(?P<attr>\w+)\s*\)$")
+
+
+@dataclass(frozen=True)
+class Query:
+    """A parsed TAG query."""
+
+    aggregates: tuple[tuple[str, str], ...]  # (fn, attribute)
+    table: str
+    predicate: tuple[str, str, float] | None  # (attr, op, value)
+    epochs: int = 1
+
+    def matches(self, row: dict[str, float]) -> bool:
+        if self.predicate is None:
+            return True
+        attr, op, val = self.predicate
+        if attr not in row:
+            raise TBONError(f"predicate attribute {attr!r} not in row {sorted(row)}")
+        return _OPS[op](row[attr], val)
+
+
+def parse_query(sql: str) -> Query:
+    """Parse the TAG dialect; raises :class:`TBONError` on bad syntax."""
+    m = _QUERY_RE.match(sql)
+    if not m:
+        raise TBONError(f"cannot parse query {sql!r}")
+    aggs = []
+    for part in m.group("aggs").split(","):
+        am = _AGG_RE.match(part.strip())
+        if not am:
+            raise TBONError(f"bad aggregate expression {part.strip()!r}")
+        fn = am.group("fn").lower()
+        if fn not in _AGGS:
+            raise TBONError(f"unknown aggregate {fn!r}; options: {_AGGS}")
+        aggs.append((fn, am.group("attr")))
+    predicate = None
+    if m.group("attr"):
+        predicate = (m.group("attr"), m.group("op"), float(m.group("val")))
+    epochs = int(m.group("epochs") or 1)
+    if epochs < 1:
+        raise TBONError("EPOCH must be >= 1")
+    return Query(
+        aggregates=tuple(aggs),
+        table=m.group("table"),
+        predicate=predicate,
+        epochs=epochs,
+    )
+
+
+@dataclass
+class QueryResult:
+    """One epoch's answer: aggregate name -> value (NaN if no rows)."""
+
+    epoch: int
+    values: dict[str, float]
+    n_rows: int
+
+
+class TagService:
+    """Run TAG queries over a live network of sensor back-ends.
+
+    Args:
+        net: the network; back-ends are the sensor nodes.
+        sampler: ``(rank, epoch) -> row dict`` producing one reading
+            (defaults to a deterministic synthetic sensor).
+    """
+
+    def __init__(
+        self,
+        net: Network,
+        sampler: Callable[[int, int], dict[str, float]] | None = None,
+    ):
+        self.net = net
+        self.sampler = sampler or self._default_sampler
+
+    @staticmethod
+    def _default_sampler(rank: int, epoch: int) -> dict[str, float]:
+        rng = np.random.default_rng(np.random.SeedSequence([rank, epoch]))
+        return {
+            "cpu": float(rng.uniform(0, 100)),
+            "mem": float(rng.uniform(100, 2000)),
+            "temp": float(rng.uniform(20, 90)),
+        }
+
+    def execute(self, sql: str, timeout: float = 30.0) -> list[QueryResult]:
+        """Run one query; returns one :class:`QueryResult` per epoch.
+
+        Implementation: each requested aggregate becomes its own stream
+        (TAG's "multiple simultaneous aggregation operations"); leaves
+        evaluate the WHERE clause locally and contribute
+        ``(value, matched)`` so empty selections stay well-defined.
+        ``count`` counts matching rows; ``avg`` divides the summed
+        values by the summed match count at the front-end.
+        """
+        query = parse_query(sql)
+        # One stream per aggregate (TAG's simultaneous aggregations) plus
+        # a hidden match-count stream that doubles as the epoch-trigger
+        # control channel and avg's denominator.
+        count_stream = self.net.new_stream(transform="sum", sync="wait_for_all")
+        streams = {}
+        for fn, attr in query.aggregates:
+            base = {"min": "min", "max": "max", "avg": "sum", "sum": "sum"}.get(fn)
+            if base is not None:
+                streams[(fn, attr)] = self.net.new_stream(
+                    transform=base, sync="wait_for_all"
+                )
+
+        def sensor(be) -> None:
+            be.wait_for_stream(count_stream.stream_id)
+            for s in streams.values():
+                be.wait_for_stream(s.stream_id)
+            for _epoch in range(query.epochs):
+                pkt = be.recv(timeout=timeout, stream_id=count_stream.stream_id)
+                epoch = pkt.values[0]
+                row = self.sampler(be.rank, epoch)
+                matched = query.matches(row)
+                be.send(count_stream.stream_id, _TAG_DATA, "%d", int(matched))
+                for (fn, attr), s in streams.items():
+                    if attr not in row:
+                        raise TBONError(
+                            f"attribute {attr!r} not in sensor row {sorted(row)}"
+                        )
+                    if fn == "min":
+                        v = row[attr] if matched else np.inf
+                    elif fn == "max":
+                        v = row[attr] if matched else -np.inf
+                    else:  # sum / avg contribute 0 when filtered out
+                        v = row[attr] if matched else 0.0
+                    be.send(s.stream_id, _TAG_DATA, "%f", v)
+
+        threads = self.net.run_backends(sensor, join=False)
+        results = []
+        try:
+            for epoch in range(query.epochs):
+                count_stream.send(_TAG_SAMPLE, "%d", epoch)
+                n_rows = int(count_stream.recv(timeout=timeout).values[0])
+                values: dict[str, float] = {}
+                for (fn, attr), s in streams.items():
+                    total = float(s.recv(timeout=timeout).values[0])
+                    name = f"{fn}({attr})"
+                    if fn == "avg":
+                        values[name] = total / n_rows if n_rows else float("nan")
+                    elif fn in ("min", "max"):
+                        values[name] = total if n_rows else float("nan")
+                    else:
+                        values[name] = total
+                for fn, attr in query.aggregates:
+                    if fn == "count":
+                        values[f"count({attr})"] = float(n_rows)
+                results.append(QueryResult(epoch=epoch, values=values, n_rows=n_rows))
+            return results
+        finally:
+            for t in threads:
+                t.join(timeout)
+            for s in [count_stream, *streams.values()]:
+                if not s.is_closed:
+                    s.close(timeout)

@@ -1,0 +1,16 @@
+"""Transports: FIFO channel implementations for TBON process trees."""
+
+from .base import Inbox, Transport
+from .local import ThreadTransport
+
+__all__ = ["Inbox", "Transport", "ThreadTransport", "TCPTransport"]
+
+
+def __getattr__(name: str):
+    # TCPTransport is imported lazily: it spins up socket machinery that
+    # pure in-process users never need.
+    if name == "TCPTransport":
+        from .tcp import TCPTransport
+
+        return TCPTransport
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

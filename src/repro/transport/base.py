@@ -1,0 +1,109 @@
+"""Transport abstraction: FIFO channels between tree processes.
+
+The TBON model connects processes "via FIFO channels [that] serve as
+conduits through which application-level packets flow".  A
+:class:`Transport` materializes a :class:`~repro.core.topology.Topology`
+into per-rank inboxes plus a send primitive along tree edges; everything
+above this layer (node event loops, filters, streams) is
+transport-independent, so the same middleware runs over in-process
+queues (:mod:`repro.transport.local`), real TCP sockets
+(:mod:`repro.transport.tcp`) or virtual time
+(:mod:`repro.simulate`).
+
+Guarantees every transport must provide:
+
+* **FIFO per channel** — messages between one (src, dst) pair arrive in
+  send order;
+* **reliable delivery** while the channel is open;
+* **close visibility** — receivers unblock with
+  :class:`~repro.core.errors.ChannelClosedError` once a channel closes.
+"""
+
+from __future__ import annotations
+
+import abc
+import queue
+from typing import Any
+
+from ..core.errors import ChannelClosedError, TransportError
+from ..core.events import Direction, Envelope
+from ..core.topology import Topology
+
+__all__ = ["Inbox", "Transport", "SHUTDOWN_SENTINEL"]
+
+#: Placed on an inbox to unblock and terminate its consumer.
+SHUTDOWN_SENTINEL = object()
+
+
+class Inbox:
+    """A rank's receive queue of :class:`Envelope` objects.
+
+    Thin wrapper over :class:`queue.Queue` adding a shutdown sentinel
+    protocol: after :meth:`close`, pending envelopes still drain, then
+    every :meth:`get` raises :class:`ChannelClosedError`.
+    """
+
+    def __init__(self) -> None:
+        self._q: "queue.Queue[Any]" = queue.Queue()
+        self._closed = False
+
+    def put(self, env: Envelope) -> None:
+        if self._closed:
+            raise ChannelClosedError("inbox is closed")
+        self._q.put(env)
+
+    def get(self, timeout: float | None = None) -> Envelope:
+        """Block for the next envelope.
+
+        Raises:
+            queue.Empty: the timeout elapsed.
+            ChannelClosedError: the inbox was closed and has drained.
+        """
+        item = self._q.get(timeout=timeout) if timeout is not None else self._q.get()
+        if item is SHUTDOWN_SENTINEL:
+            self._closed = True
+            # Re-post so every other blocked consumer also wakes.
+            self._q.put(SHUTDOWN_SENTINEL)
+            raise ChannelClosedError("inbox closed")
+        return item
+
+    def close(self) -> None:
+        self._q.put(SHUTDOWN_SENTINEL)
+
+    def qsize(self) -> int:
+        return self._q.qsize()
+
+
+class Transport(abc.ABC):
+    """Factory for the channels of one instantiated network.
+
+    Lifecycle: ``bind(topology)`` once, then :meth:`send` along tree
+    edges, then :meth:`shutdown`.  Ranks are the topology's ranks.
+    """
+
+    def __init__(self) -> None:
+        self.topology: Topology | None = None
+
+    @abc.abstractmethod
+    def bind(self, topology: Topology) -> None:
+        """Create channels for every edge of ``topology``."""
+
+    @abc.abstractmethod
+    def inbox(self, rank: int) -> Inbox:
+        """The receive queue for ``rank``."""
+
+    @abc.abstractmethod
+    def send(self, src: int, dst: int, direction: Direction, packet: Any) -> None:
+        """Enqueue ``packet`` from ``src`` to ``dst`` (must be a tree edge)."""
+
+    @abc.abstractmethod
+    def shutdown(self) -> None:
+        """Close all channels and release transport resources."""
+
+    # -- shared helpers ----------------------------------------------------
+    def _check_edge(self, src: int, dst: int) -> None:
+        topo = self.topology
+        if topo is None:
+            raise TransportError("transport is not bound to a topology")
+        if topo.parent(dst) != src and topo.parent(src) != dst:
+            raise TransportError(f"({src}, {dst}) is not an edge of the tree")

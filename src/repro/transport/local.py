@@ -1,0 +1,60 @@
+"""In-process thread transport.
+
+Every rank's inbox is a thread-safe queue; a send is a queue put.  This
+is the reference transport for the TBON semantics: channels are FIFO and
+reliable by construction, packets move by reference (the in-process
+stand-in for MRNet's zero-copy data path — a k-way multicast enqueues
+one shared :class:`~repro.core.packet.Packet` object k times and bumps
+its counted payload reference accordingly).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core.errors import TransportError
+from ..core.events import Direction, Envelope
+from ..core.topology import Topology
+from .base import Inbox, Transport
+
+__all__ = ["ThreadTransport"]
+
+
+class ThreadTransport(Transport):
+    """Queues-as-channels transport for single-process networks."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._inboxes: dict[int, Inbox] = {}
+
+    def bind(self, topology: Topology) -> None:
+        if self.topology is not None:
+            raise TransportError("transport already bound")
+        self.topology = topology
+        self._inboxes = {rank: Inbox() for rank in topology.ranks}
+
+    def rebind(self, topology: Topology) -> None:
+        """Adopt a reconfigured topology, creating inboxes for new ranks.
+
+        Used by the recovery machinery: surviving ranks keep their
+        queues (no data loss), newly attached ranks get fresh ones.
+        """
+        if self.topology is None:
+            raise TransportError("transport is not bound")
+        self.topology = topology
+        for rank in topology.ranks:
+            self._inboxes.setdefault(rank, Inbox())
+
+    def inbox(self, rank: int) -> Inbox:
+        try:
+            return self._inboxes[rank]
+        except KeyError:
+            raise TransportError(f"rank {rank} has no inbox (not bound?)") from None
+
+    def send(self, src: int, dst: int, direction: Direction, packet: Any) -> None:
+        self._check_edge(src, dst)
+        self.inbox(dst).put(Envelope(src=src, direction=direction, packet=packet))
+
+    def shutdown(self) -> None:
+        for inbox in self._inboxes.values():
+            inbox.close()

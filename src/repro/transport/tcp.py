@@ -1,0 +1,190 @@
+"""TCP transport: the process tree over real localhost sockets.
+
+The paper's TBONs "use network transport protocols, like TCP, to
+implement data multicast, gather and reduction services"; this transport
+runs the identical middleware over genuine TCP connections.  One
+listening socket per rank, one connection per tree edge (established
+child→parent at bind time), one reader thread per connection side.
+
+Wire format per frame (all little-endian)::
+
+    u32 length | u8 direction (0=up, 1=down) | i32 src rank | packet bytes
+
+Packets are serialized with :meth:`repro.core.packet.Packet.to_bytes`,
+which exercises the counted-payload-reference path: a k-way multicast
+serializes the payload once and writes the same buffer to k sockets.
+
+The transport binds 127.0.0.1 only; it demonstrates the real-socket data
+path, not multi-host deployment (see DESIGN.md, out of scope).
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+from typing import Any
+
+from ..core.errors import ChannelClosedError, TransportError
+from ..core.events import Direction, Envelope
+from ..core.packet import Packet
+from ..core.topology import Topology
+from .base import Inbox, Transport
+
+__all__ = ["TCPTransport"]
+
+_HDR = struct.Struct("<IBi")
+_RANK_HELLO = struct.Struct("<i")
+
+_DIR_CODE = {Direction.UPSTREAM: 0, Direction.DOWNSTREAM: 1}
+_CODE_DIR = {0: Direction.UPSTREAM, 1: Direction.DOWNSTREAM}
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    buf = bytearray()
+    while len(buf) < n:
+        chunk = sock.recv(n - len(buf))
+        if not chunk:
+            raise ConnectionError("peer closed")
+        buf.extend(chunk)
+    return bytes(buf)
+
+
+class _Connection:
+    """One side of a TCP channel: framed writes plus a reader thread."""
+
+    def __init__(self, sock: socket.socket, inbox: Inbox, owner_rank: int):
+        self.sock = sock
+        self.inbox = inbox
+        self.owner_rank = owner_rank
+        self._wlock = threading.Lock()
+        self._closed = threading.Event()
+        self.reader = threading.Thread(
+            target=self._read_loop, name=f"tbon-tcp-read-{owner_rank}", daemon=True
+        )
+        self.reader.start()
+
+    def _read_loop(self) -> None:
+        try:
+            while not self._closed.is_set():
+                header = _recv_exact(self.sock, _HDR.size)
+                length, dir_code, src = _HDR.unpack(header)
+                body = _recv_exact(self.sock, length)
+                packet = Packet.from_bytes(body)
+                self.inbox.put(
+                    Envelope(src=src, direction=_CODE_DIR[dir_code], packet=packet)
+                )
+        except (ConnectionError, OSError, ChannelClosedError):
+            pass  # normal at shutdown
+
+    def send(self, src: int, direction: Direction, packet: Packet) -> None:
+        body = packet.to_bytes()
+        frame = _HDR.pack(len(body), _DIR_CODE[direction], src) + body
+        with self._wlock:
+            try:
+                self.sock.sendall(frame)
+            except OSError as exc:
+                raise ChannelClosedError(f"TCP send failed: {exc}") from exc
+
+    def close(self) -> None:
+        self._closed.set()
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self.sock.close()
+
+
+class TCPTransport(Transport):
+    """Localhost-TCP channels for every edge of the tree."""
+
+    def __init__(self, host: str = "127.0.0.1", connect_timeout: float = 10.0):
+        super().__init__()
+        self.host = host
+        self.connect_timeout = connect_timeout
+        self._inboxes: dict[int, Inbox] = {}
+        # (owner_rank, peer_rank) -> connection used by owner to reach peer
+        self._conns: dict[tuple[int, int], _Connection] = {}
+        self._listeners: dict[int, socket.socket] = {}
+
+    def bind(self, topology: Topology) -> None:
+        if self.topology is not None:
+            raise TransportError("transport already bound")
+        self.topology = topology
+        self._inboxes = {rank: Inbox() for rank in topology.ranks}
+
+        # One listener per rank that has children.
+        ports: dict[int, int] = {}
+        for rank in topology.ranks:
+            if topology.children(rank):
+                srv = socket.create_server((self.host, 0))
+                srv.settimeout(self.connect_timeout)
+                self._listeners[rank] = srv
+                ports[rank] = srv.getsockname()[1]
+
+        # Parents accept on their own threads; children connect from here.
+        accept_errors: list[Exception] = []
+
+        def accept_all(rank: int, srv: socket.socket, n: int) -> None:
+            try:
+                for _ in range(n):
+                    conn, _addr = srv.accept()
+                    conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                    (child,) = _RANK_HELLO.unpack(_recv_exact(conn, _RANK_HELLO.size))
+                    self._conns[(rank, child)] = _Connection(
+                        conn, self._inboxes[rank], rank
+                    )
+            except Exception as exc:  # surfaced after join
+                accept_errors.append(exc)
+
+        acceptors = []
+        for rank, srv in self._listeners.items():
+            t = threading.Thread(
+                target=accept_all,
+                args=(rank, srv, len(topology.children(rank))),
+                name=f"tbon-tcp-accept-{rank}",
+                daemon=True,
+            )
+            t.start()
+            acceptors.append(t)
+
+        for parent, child in topology.iter_edges():
+            sock = socket.create_connection(
+                (self.host, ports[parent]), timeout=self.connect_timeout
+            )
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            sock.sendall(_RANK_HELLO.pack(child))
+            self._conns[(child, parent)] = _Connection(
+                sock, self._inboxes[child], child
+            )
+
+        for t in acceptors:
+            t.join(self.connect_timeout)
+        if accept_errors:
+            raise TransportError(f"TCP accept failed: {accept_errors[0]}")
+        missing = [
+            e for e in topology.iter_edges() if (e[0], e[1]) not in self._conns
+        ]
+        if missing:
+            raise TransportError(f"TCP edges failed to establish: {missing}")
+
+    def inbox(self, rank: int) -> Inbox:
+        try:
+            return self._inboxes[rank]
+        except KeyError:
+            raise TransportError(f"rank {rank} has no inbox (not bound?)") from None
+
+    def send(self, src: int, dst: int, direction: Direction, packet: Any) -> None:
+        self._check_edge(src, dst)
+        conn = self._conns.get((src, dst))
+        if conn is None:
+            raise ChannelClosedError(f"no TCP connection {src}->{dst}")
+        conn.send(src, direction, packet)
+
+    def shutdown(self) -> None:
+        for conn in self._conns.values():
+            conn.close()
+        for srv in self._listeners.values():
+            srv.close()
+        for inbox in self._inboxes.values():
+            inbox.close()

@@ -1,0 +1,72 @@
+"""Shared fixtures for the test suite.
+
+Importing :mod:`repro.filters_ext` and :mod:`repro.cluster` here makes
+every registered filter available to every network test without
+per-test imports.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.cluster  # noqa: F401 - registers mean_shift/agglomerative
+import repro.filters_ext  # noqa: F401 - registers tool filters
+from repro import Network, Topology, balanced_topology, flat_topology
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def tiny_topology() -> Topology:
+    """Flat tree with 4 back-ends."""
+    return flat_topology(4)
+
+
+@pytest.fixture
+def deep2_topology() -> Topology:
+    """Balanced 3-ary tree of depth 2 (9 back-ends, 3 internal)."""
+    return balanced_topology(3, 2)
+
+
+@pytest.fixture
+def unbalanced_topology() -> Topology:
+    r"""Back-ends at different depths; stresses weighting and routing.
+
+    Shape: 0 -> (1, 2); 1 -> (3, 4); 2 -> 5; 4 -> (6, 7).
+    Back-ends: 3 and 5 (depth 2), 6 and 7 (depth 3).
+    """
+    return Topology({0: [1, 2], 1: [3, 4], 2: [5], 4: [6, 7]})
+
+
+@pytest.fixture
+def net(deep2_topology):
+    """A live thread-transport network over the depth-2 tree."""
+    network = Network(deep2_topology)
+    yield network
+    network.shutdown()
+    assert network.node_errors() == {}
+
+
+@pytest.fixture
+def flat_net(tiny_topology):
+    network = Network(tiny_topology)
+    yield network
+    network.shutdown()
+    assert network.node_errors() == {}
+
+
+def send_from_all(network: Network, stream, tag: int, fmt: str, value_fn):
+    """Helper: every back-end sends ``value_fn(rank)`` on ``stream``."""
+
+    def leaf(be):
+        be.wait_for_stream(stream.stream_id)
+        values = value_fn(be.rank)
+        if not isinstance(values, tuple):
+            values = (values,)
+        be.send(stream.stream_id, tag, fmt, *values)
+
+    network.run_backends(leaf)

@@ -1,0 +1,123 @@
+"""Tests for distributed agglomerative clustering (Section 2.3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import FIRST_APPLICATION_TAG, Network, balanced_topology
+from repro.core.errors import TBONError
+from repro.core.filters import FilterContext
+from repro.core.packet import Packet
+from repro.cluster.agglomerative import (
+    AGGLOMERATIVE_FMT,
+    AgglomerativeFilter,
+    ClusterSummary,
+    agglomerate,
+    summarize_points,
+)
+
+TAG = FIRST_APPLICATION_TAG
+
+
+class TestAgglomerate:
+    def test_merges_below_threshold(self):
+        s = ClusterSummary(
+            np.array([[0.0, 0.0], [1.0, 0.0], [100.0, 0.0]]), np.ones(3)
+        )
+        out = agglomerate(s, merge_distance=5.0)
+        assert out.k == 2
+        assert out.weights.sum() == pytest.approx(3.0)
+
+    def test_weighted_centroid(self):
+        s = ClusterSummary(np.array([[0.0, 0.0], [4.0, 0.0]]), np.array([3.0, 1.0]))
+        out = agglomerate(s, merge_distance=10.0)
+        assert out.k == 1
+        assert out.centroids[0, 0] == pytest.approx(1.0)  # (0*3 + 4*1)/4
+
+    def test_centroid_linkage_chain(self):
+        """Centroid linkage: merging (0, 4) moves the centroid to 2, so
+        the remaining gap to 8 is 6 — beyond a threshold of 5 the chain
+        does NOT fully collapse (distinguishes centroid from single
+        linkage), while a threshold of 7 collapses it."""
+        cents = np.array([[0.0, 0.0], [4.0, 0.0], [8.0, 0.0]])
+        out5 = agglomerate(ClusterSummary(cents, np.ones(3)), merge_distance=5.0)
+        assert out5.k == 2
+        out7 = agglomerate(ClusterSummary(cents, np.ones(3)), merge_distance=7.0)
+        assert out7.k == 1
+
+    def test_nothing_to_merge(self):
+        cents = np.array([[0.0, 0.0], [100.0, 0.0]])
+        out = agglomerate(ClusterSummary(cents, np.ones(2)), merge_distance=5.0)
+        assert out.k == 2
+
+    def test_single_cluster_noop(self):
+        out = agglomerate(ClusterSummary(np.zeros((1, 2)), np.ones(1)), 5.0)
+        assert out.k == 1
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(TBONError):
+            ClusterSummary(np.zeros((2, 2)), np.ones(3))
+
+
+class TestSummarizePoints:
+    def test_small_input_exact(self, rng):
+        pts = np.array([[0.0, 0.0], [0.5, 0.0], [50.0, 50.0]])
+        s = summarize_points(pts, merge_distance=5.0)
+        assert s.k == 2
+        assert s.weights.sum() == pytest.approx(3.0)
+
+    def test_large_input_grid_path(self, rng):
+        pts = rng.normal(size=(1000, 2)) * 5 + 100
+        s = summarize_points(pts, merge_distance=10.0)
+        assert s.weights.sum() == pytest.approx(1000.0)
+        assert s.k < 50
+
+
+class TestFilter:
+    def test_requires_merge_distance(self):
+        with pytest.raises(TBONError):
+            AgglomerativeFilter()
+
+    def test_merges_children(self):
+        f = AgglomerativeFilter(merge_distance=10.0)
+        a = Packet(1, TAG, AGGLOMERATIVE_FMT, (np.array([[0.0, 0.0]]), np.array([5.0])))
+        b = Packet(1, TAG, AGGLOMERATIVE_FMT, (np.array([[2.0, 0.0]]), np.array([3.0])))
+        (out,) = f.execute([a, b], FilterContext(n_children=2))
+        cents, wts = out.values
+        assert len(cents) == 1
+        assert wts[0] == pytest.approx(8.0)
+        assert cents[0, 0] == pytest.approx((0 * 5 + 2 * 3) / 8)
+
+    def test_end_to_end(self):
+        """Leaves summarize disjoint views of the same blobs; the tree
+        agglomerates them back to the true cluster count."""
+        topo = balanced_topology(2, 2)
+        centers = np.array([[100.0, 100.0], [400.0, 400.0], [100.0, 400.0]])
+        with Network(topo) as net:
+            s = net.new_stream(
+                transform="agglomerative",
+                sync="wait_for_all",
+                transform_params={"merge_distance": 60.0},
+            )
+            order = {r: i for i, r in enumerate(topo.backends)}
+
+            def leaf(be):
+                be.wait_for_stream(s.stream_id)
+                rng = np.random.default_rng(order[be.rank])
+                pts = np.concatenate(
+                    [rng.normal(loc=c, scale=10.0, size=(80, 2)) for c in centers]
+                )
+                summary = summarize_points(pts, merge_distance=60.0)
+                be.send(
+                    s.stream_id, TAG, AGGLOMERATIVE_FMT, summary.centroids, summary.weights
+                )
+
+            net.run_backends(leaf)
+            pkt = s.recv(timeout=20)
+            cents, wts = pkt.values
+            assert len(cents) == 3
+            assert wts.sum() == pytest.approx(4 * 3 * 80)
+            for c in centers:
+                assert np.linalg.norm(cents - c, axis=1).min() < 15
+            assert net.node_errors() == {}

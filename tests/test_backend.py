@@ -1,0 +1,110 @@
+"""Unit tests for the back-end endpoint API."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import (
+    FIRST_APPLICATION_TAG,
+    Network,
+    StreamError,
+    balanced_topology,
+)
+
+TAG = FIRST_APPLICATION_TAG
+
+
+@pytest.fixture
+def net():
+    network = Network(balanced_topology(2, 2))
+    yield network
+    network.shutdown()
+
+
+class TestStreamAnnouncement:
+    def test_wait_for_stream_returns_spec(self, net):
+        s = net.new_stream(transform="sum", sync="wait_for_all")
+        spec = net.backends[0].wait_for_stream(s.stream_id)
+        assert spec.stream_id == s.stream_id
+        assert spec.transform == "sum"
+        assert spec.members == tuple(net.topology.backends)
+
+    def test_wait_for_unknown_stream_times_out(self, net):
+        with pytest.raises(StreamError):
+            net.backends[0].wait_for_stream(999, timeout=0.2)
+
+    def test_streams_property(self, net):
+        s1 = net.new_stream(transform="sum")
+        s2 = net.new_stream(transform="max")
+        be = net.backends[0]
+        be.wait_for_stream(s1.stream_id)
+        be.wait_for_stream(s2.stream_id)
+        assert set(be.streams) >= {s1.stream_id, s2.stream_id}
+
+    def test_send_unknown_stream_rejected(self, net):
+        with pytest.raises(StreamError):
+            net.backends[0].send(999, TAG, "%d", 1)
+
+
+class TestTargetedReceive:
+    def test_per_stream_routing(self, net):
+        """Two consumers on one back-end, each targeting its own stream."""
+        s1 = net.new_stream(transform="sum")
+        s2 = net.new_stream(transform="sum")
+        be = net.backends[0]
+        be.wait_for_stream(s1.stream_id)
+        be.wait_for_stream(s2.stream_id)
+        got = {}
+
+        def consumer(stream_id, key):
+            got[key] = be.recv(timeout=10, stream_id=stream_id).values[0]
+
+        t1 = threading.Thread(target=consumer, args=(s1.stream_id, "a"))
+        t2 = threading.Thread(target=consumer, args=(s2.stream_id, "b"))
+        t1.start()
+        t2.start()
+        # Send in the "wrong" order: targeted receives must not steal.
+        s2.send(TAG, "%d", 222)
+        s1.send(TAG, "%d", 111)
+        t1.join(10)
+        t2.join(10)
+        assert got == {"a": 111, "b": 222}
+
+    def test_untargeted_receive_in_arrival_order(self, net):
+        s1 = net.new_stream(transform="sum")
+        s2 = net.new_stream(transform="sum")
+        be = net.backends[0]
+        be.wait_for_stream(s1.stream_id)
+        be.wait_for_stream(s2.stream_id)
+        s1.send(TAG, "%d", 1)
+        # Ensure ordering: wait until first arrives before sending second.
+        first = be.recv(timeout=10)
+        s2.send(TAG, "%d", 2)
+        second = be.recv(timeout=10)
+        assert (first.stream_id, second.stream_id) == (s1.stream_id, s2.stream_id)
+
+    def test_mixed_targeted_then_untargeted(self, net):
+        """Targeted receives must not leave ghost tokens for recv()."""
+        s1 = net.new_stream(transform="sum")
+        s2 = net.new_stream(transform="sum")
+        be = net.backends[0]
+        be.wait_for_stream(s1.stream_id)
+        be.wait_for_stream(s2.stream_id)
+        s1.send(TAG, "%d", 1)
+        s2.send(TAG, "%d", 2)
+        # Drain stream 1 by target, then an untargeted recv must get s2.
+        p1 = be.recv(timeout=10, stream_id=s1.stream_id)
+        p2 = be.recv(timeout=10)
+        assert p1.stream_id == s1.stream_id
+        assert p2.stream_id == s2.stream_id
+
+    def test_recv_timeout(self, net):
+        with pytest.raises(TimeoutError):
+            net.backends[0].recv(timeout=0.2)
+
+    def test_targeted_recv_timeout(self, net):
+        s = net.new_stream(transform="sum")
+        with pytest.raises(TimeoutError):
+            net.backends[0].recv(timeout=0.2, stream_id=s.stream_id)

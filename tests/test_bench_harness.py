@@ -1,0 +1,133 @@
+"""Tests for the experiment drivers (the bench harness itself).
+
+These assert the *shape acceptance criteria* from DESIGN.md Section 5
+using the frozen reference model, so the paper-reproduction claims are
+enforced by the test suite, not only printed by benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import (
+    run_fig4,
+    run_logscale_table,
+    run_nodecost_table,
+    run_startup_table,
+    run_throughput_table,
+)
+from repro.bench.reporting import SeriesTable, fmt_seconds
+from repro.simulate.calibrate import REFERENCE_MODEL
+
+PARSE_COST = 20e-9
+
+
+class TestSeriesTable:
+    def test_render_alignment(self):
+        t = SeriesTable("x", ["a", "b"], title="T")
+        t.add_row(1, [2.0, 3.0])
+        text = t.render()
+        assert "T" in text and "x" in text and "2.0" in text
+
+    def test_series_extraction(self):
+        t = SeriesTable("x", ["a", "b"])
+        t.add_row(1, [10, 20])
+        t.add_row(2, [11, 21])
+        assert t.series("a") == [10, 11]
+        assert t.xs() == [1, 2]
+
+    def test_row_width_checked(self):
+        t = SeriesTable("x", ["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row(1, [1])
+
+    def test_fmt_seconds(self):
+        assert fmt_seconds(5e-7) == "0.5 us"
+        assert fmt_seconds(0.002) == "2.0 ms"
+        assert fmt_seconds(3.5) == "3.50 s"
+        assert fmt_seconds(float("nan")) == "-"
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig4(REFERENCE_MODEL)
+
+    def test_shape_criteria_met(self, result):
+        assert result.check_shape() == []
+
+    def test_single_linear(self, result):
+        xs = np.array(result.table.xs(), float)
+        ratio = np.array(result.single) / xs
+        assert ratio.std() / ratio.mean() < 0.01
+
+    def test_flat_bottleneck_window(self, result):
+        """Per the paper: flat degrades 'somewhere between a fan-out of
+        64 and 128' — growth from 128 on must outpace growth up to 64."""
+        xs = result.table.xs()
+        flat = dict(zip(xs, result.flat))
+        early_slope = (flat[64] - flat[16]) / (64 - 16)
+        late_slope = (flat[324] - flat[128]) / (324 - 128)
+        assert late_slope > 3 * early_slope
+
+    def test_deep_beats_flat_at_scale(self, result):
+        xs = result.table.xs()
+        deep = dict(zip(xs, result.deep))
+        flat = dict(zip(xs, result.flat))
+        assert flat[324] / deep[324] > 10
+
+    def test_deep_growth_proportional_to_fanout(self, result):
+        """Paper §3.2: 'beyond 64 leaves ... the run-time is directly
+        proportional to the fan-out of the tree.'  The 2-deep tree at
+        scale N uses fan-out ~sqrt(N), so deep(324)/deep(64) should
+        track sqrt(324/64) = 2.25, not the scale ratio 5.06."""
+        xs = result.table.xs()
+        deep = dict(zip(xs, result.deep))
+        growth = deep[324] / deep[64]
+        assert growth < 3.5  # well below the x5 scale ratio
+        # ...and through 64 leaves the series is near-constant.
+        i64 = xs.index(64)
+        assert max(result.deep[: i64 + 1]) < 2 * min(result.deep[: i64 + 1])
+
+
+class TestStartupTable:
+    def test_paper_claims(self):
+        t = run_startup_table(parse_cost_per_byte=PARSE_COST)
+        row512 = dict(zip(t.xs(), (vals for _x, vals in t.rows)))[512]
+        one, tree, speedup = row512
+        assert one > 60
+        assert tree < 20
+        assert 3.0 < speedup < 5.5
+
+
+class TestThroughputTable:
+    def test_knee_between_32_and_64(self):
+        t = run_throughput_table(daemon_counts=(16, 32, 48, 512), duration=5.0)
+        rows = {x: vals for x, vals in t.rows}
+        # flat keeps up at 16-32, saturates by 48, stays saturated.
+        assert not rows[32][1]
+        assert rows[48][1]
+        assert rows[512][1]
+        # tree never saturates, even at 512.
+        assert not rows[512][3]
+        assert rows[512][2] < 0.2
+
+
+class TestNodeCostTable:
+    def test_exact_paper_numbers(self):
+        t = run_nodecost_table()
+        rows = {x: vals for x, vals in t.rows}
+        assert rows[256] == [16, 6.25]
+        assert rows[4096][0] == 272
+        assert rows[4096][1] == pytest.approx(6.64, abs=0.01)
+
+
+class TestLogScale:
+    def test_flat_linear_tree_logarithmic(self):
+        t = run_logscale_table(sizes=(16, 256, 4096))
+        rows = {x: vals for x, vals in t.rows}
+        # Flat latency grows ~linearly over a 256x size range...
+        assert rows[4096][0] / rows[16][0] > 50
+        # ...tree latency grows far slower (depth: 1 -> 3).
+        assert rows[4096][1] / rows[16][1] < 6

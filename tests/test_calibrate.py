@@ -1,0 +1,77 @@
+"""Tests for performance-model calibration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.datagen import ClusterSpec
+from repro.simulate.calibrate import (
+    REFERENCE_MODEL,
+    MeanShiftCostModel,
+    calibrate_mean_shift,
+    scaled_model,
+)
+
+
+class TestReferenceModel:
+    def test_predictions_positive(self):
+        m = REFERENCE_MODEL
+        assert m.merge_cpu(1000, 8) > 0
+        assert m.single_node_time(16) > 0
+        assert m.payload_bytes(100, 4) > 0
+
+    def test_merge_cost_monotonic(self):
+        m = REFERENCE_MODEL
+        assert m.merge_cpu(2000, 8) > m.merge_cpu(1000, 8)
+        assert m.merge_cpu(1000, 16) > m.merge_cpu(1000, 8)
+
+    def test_single_node_linear(self):
+        m = REFERENCE_MODEL
+        t1, t2, t4 = (m.single_node_time(n) for n in (16, 32, 64))
+        assert t2 / t1 == pytest.approx(2.0, rel=0.01)
+        assert t4 / t2 == pytest.approx(2.0, rel=0.01)
+
+    def test_collapsed_size_saturates(self):
+        m = REFERENCE_MODEL
+        assert m.collapsed_size(10) == 10
+        assert m.collapsed_size(10**6) == m.collapse_cap
+
+    def test_scaled_model(self):
+        s = scaled_model(REFERENCE_MODEL, 10.0)
+        assert s.leaf_time == pytest.approx(10 * REFERENCE_MODEL.leaf_time)
+        assert s.per_point_iter == pytest.approx(10 * REFERENCE_MODEL.per_point_iter)
+        # Structural fields unchanged.
+        assert s.collapse_cap == REFERENCE_MODEL.collapse_cap
+
+
+class TestLiveCalibration:
+    @pytest.fixture(scope="class")
+    def model(self) -> MeanShiftCostModel:
+        # Small probe so the test stays fast; one repeat is enough to
+        # check plumbing (benchmarks calibrate properly).
+        return calibrate_mean_shift(
+            spec=ClusterSpec(points_per_cluster=60),
+            probe_children=2,
+            repeats=1,
+        )
+
+    def test_all_constants_measured(self, model):
+        assert model.per_point_iter > 0
+        assert model.per_scan_point > 0
+        assert model.per_collapse_point > 0
+        assert model.seeded_iters >= 1.0
+        assert model.leaf_time > 0
+        # 4 clusters x 60 points plus ~2% uniform clutter.
+        assert 240 <= model.points_per_leaf <= 252
+        assert model.leaf_out_points > 0
+        assert model.leaf_out_peaks >= 1
+        assert model.collapse_cap >= model.leaf_out_points
+        assert model.n_modes >= 1
+
+    def test_leaf_time_consistent_with_anchor(self, model):
+        """single_node_time(1) is at least the measured leaf time."""
+        assert model.single_node_time(1) >= model.leaf_time * 0.99
+
+    def test_model_is_frozen(self, model):
+        with pytest.raises(AttributeError):
+            model.leaf_time = 0.0  # type: ignore[misc]

@@ -1,0 +1,73 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestCommands:
+    def test_nodecost(self, capsys):
+        assert main(["nodecost"]) == 0
+        out = capsys.readouterr().out
+        assert "6.25" in out and "272" in out
+
+    def test_logscale(self, capsys):
+        assert main(["logscale"]) == 0
+        assert "A-logscale" in capsys.readouterr().out
+
+    def test_startup(self, capsys):
+        assert main(["startup", "--daemons", "32", "512"]) == 0
+        out = capsys.readouterr().out
+        assert "one_to_many" in out and "512" in out
+
+    def test_throughput(self, capsys):
+        assert main(["throughput", "--daemons", "16", "48", "--duration", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "flat_saturated" in out
+
+    def test_fig4_reference(self, capsys):
+        assert main(["fig4", "--reference"]) == 0
+        out = capsys.readouterr().out
+        assert "shape criteria: OK" in out
+        assert "324" in out
+
+    def test_fig4_custom_scales(self, capsys):
+        assert main(["fig4", "--reference", "--scales", "16", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "16" in out and "32" in out
+
+    def test_topology_flat(self, capsys):
+        assert main(["topology", "flat", "--backends", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "backends=5" in out
+        assert "=>" in out
+
+    def test_topology_balanced(self, capsys):
+        assert main(["topology", "balanced", "--fanout", "3", "--depth", "2"]) == 0
+        assert "backends=9" in capsys.readouterr().out
+
+    def test_topology_deep_roundtrips(self, capsys):
+        from repro.core.topology import parse_topology_file
+
+        assert main(["topology", "deep", "--backends", "48", "--fanout", "7"]) == 0
+        out = capsys.readouterr().out
+        spec = "\n".join(l for l in out.splitlines() if not l.startswith("#"))
+        topo = parse_topology_file(spec)
+        assert topo.n_backends == 48
+
+    def test_meanshift_live_tiny(self, capsys):
+        assert main(["meanshift", "--leaves", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "distributed" in out and "peaks" in out

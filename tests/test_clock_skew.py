@@ -1,0 +1,111 @@
+"""Tests for tree-based clock-skew detection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import FIRST_APPLICATION_TAG, Network, balanced_topology
+from repro.filters_ext.clock_skew import (
+    CLOCK_SKEW_FMT,
+    SkewClock,
+    estimate_edge_offset,
+    serial_skew_detection,
+    tree_skew_detection,
+)
+
+TAG = FIRST_APPLICATION_TAG
+
+
+class TestSkewClock:
+    def test_offset_and_drift(self):
+        c = SkewClock(offset=1.5, drift=0.01)
+        assert c.read(0.0) == pytest.approx(1.5)
+        assert c.read(100.0) == pytest.approx(1.5 + 1.0 + 100.0)
+
+
+class TestEdgeEstimator:
+    def test_recovers_offset_symmetric_delay(self):
+        parent = SkewClock(0.0)
+        child = SkewClock(offset=0.025)
+        est = estimate_edge_offset(
+            parent, child, jitter=1e-9, rng=np.random.default_rng(0)
+        )
+        assert est == pytest.approx(0.025, abs=1e-6)
+
+    def test_jitter_bounded_by_best_rtt(self):
+        parent = SkewClock(0.0)
+        child = SkewClock(offset=-0.010)
+        est = estimate_edge_offset(
+            parent, child, jitter=50e-6, n_samples=16, rng=np.random.default_rng(1)
+        )
+        assert abs(est - (-0.010)) < 1e-3
+
+    def test_sign_convention(self):
+        parent = SkewClock(0.0)
+        ahead = SkewClock(offset=0.1)
+        behind = SkewClock(offset=-0.1)
+        rng = np.random.default_rng(2)
+        assert estimate_edge_offset(parent, ahead, rng=rng) > 0
+        assert estimate_edge_offset(parent, behind, rng=rng) < 0
+
+
+class TestTreeDetection:
+    def test_offsets_compose_along_paths(self):
+        topo = balanced_topology(3, 2)
+        clocks = {r: SkewClock(offset=0.002 * r) for r in topo.ranks}
+        offsets, _t = tree_skew_detection(topo, clocks, jitter=1e-9)
+        for r in topo.ranks:
+            assert offsets[r] == pytest.approx(0.002 * r, abs=1e-4)
+
+    def test_tree_faster_than_serial_at_scale(self):
+        topo = balanced_topology(8, 2)  # 64 backends
+        clocks = {r: SkewClock(0.0) for r in topo.ranks}
+        _, t_tree = tree_skew_detection(topo, clocks)
+        _, t_serial = serial_skew_detection(topo, clocks)
+        # Serial is O(N); tree is O(fanout x depth).
+        assert t_serial / t_tree == pytest.approx(64 / 16, rel=0.01)
+
+    def test_serial_offsets_also_correct(self):
+        topo = balanced_topology(2, 2)
+        clocks = {r: SkewClock(offset=0.001 * r) for r in topo.ranks}
+        offsets, _ = serial_skew_detection(topo, clocks, jitter=1e-9)
+        for be in topo.backends:
+            assert offsets[be] == pytest.approx(0.001 * be, abs=1e-4)
+
+
+class TestClockSkewFilter:
+    def test_live_composition(self):
+        """Per-edge offsets injected as params compose to per-leaf totals."""
+        topo = balanced_topology(2, 2)
+        true_offset = {r: 0.003 * r for r in topo.ranks}
+        edge_offsets = {}
+        for parent, child in topo.iter_edges():
+            edge_offsets.setdefault(parent, {})[child] = (
+                true_offset[child] - true_offset[parent]
+            )
+        with Network(topo) as net:
+            s = net.new_stream(
+                transform="clock_skew",
+                sync="wait_for_all",
+                transform_params={"edge_offsets": edge_offsets},
+            )
+
+            def leaf(be):
+                be.wait_for_stream(s.stream_id)
+                be.send(
+                    s.stream_id,
+                    TAG,
+                    CLOCK_SKEW_FMT,
+                    np.array([be.rank], dtype=np.int64),
+                    np.array([0.0]),
+                )
+
+            net.run_backends(leaf)
+            pkt = s.recv(timeout=10)
+            ranks, offs = pkt.values
+            got = dict(zip(ranks.tolist(), offs.tolist()))
+            assert set(got) == set(topo.backends)
+            for r, o in got.items():
+                assert o == pytest.approx(true_offset[r], abs=1e-12)
+            assert net.node_errors() == {}

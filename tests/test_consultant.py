@@ -1,0 +1,92 @@
+"""Tests for the Performance-Consultant-style diagnosis tool."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Network, balanced_topology
+from repro.core.errors import TBONError
+from repro.filters_ext.graph_fold import fold_graphs, graph_root
+from repro.tools.consultant import (
+    HostBehaviour,
+    PerformanceConsultant,
+    run_search,
+)
+
+
+@pytest.fixture
+def net():
+    network = Network(balanced_topology(3, 2))
+    yield network
+    network.shutdown()
+    assert network.node_errors() == {}
+
+
+class TestHostBehaviour:
+    def test_profiles_have_expected_dominant_kind(self):
+        cpu = HostBehaviour(1, "cpu_solve")
+        io = HostBehaviour(2, "io_checkpoint")
+        assert cpu.metric("cpu") > 0.7
+        assert cpu.metric("io") < 0.2
+        assert io.metric("io") > 0.5
+
+    def test_hot_function_carries_the_time(self):
+        h = HostBehaviour(3, "cpu_solve")
+        assert h.metric("cpu", "solve") > h.metric("cpu", "exchange")
+
+    def test_deterministic_per_rank(self):
+        a = HostBehaviour(5, "cpu_solve").metric("cpu", "solve")
+        b = HostBehaviour(5, "cpu_solve").metric("cpu", "solve")
+        assert a == b
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(TBONError):
+            HostBehaviour(1, "gpu_bound")
+
+
+class TestSearch:
+    def test_search_graph_shape(self):
+        payload = run_search(HostBehaviour(1, "cpu_solve"))
+        assert payload["kind"] == "tree"
+        labels = {label for _nid, label in payload["nodes"]}
+        assert "TopLevel" in labels
+        assert "cpu_bound" in labels
+        assert "cpu_in_solve" in labels
+        assert "io_ok" in labels
+        assert "io_bound" not in labels
+
+    def test_identical_profiles_fold(self):
+        import repro.filters_ext.graph_fold as gf
+
+        g1 = gf._tree_from_payload(run_search(HostBehaviour(1, "cpu_solve")))
+        g2 = gf._tree_from_payload(run_search(HostBehaviour(2, "cpu_solve")))
+        comp = fold_graphs([g1, g2])
+        # Identical structure => identical node count to a single graph.
+        assert len(comp) == len(g1) + 1  # + the @root shim
+
+
+class TestDiagnosis:
+    def test_default_job_finds_the_anomaly(self, net):
+        pc = PerformanceConsultant(net)
+        rep = pc.diagnose()
+        assert rep.n_hosts == 9
+        assert "cpu_bound > cpu_in_solve" in rep.findings
+        majority, _hosts = rep.findings["cpu_bound > cpu_in_solve"]
+        assert majority == 8
+        anomalies = rep.anomalies()
+        assert list(anomalies) == ["io_bound > io_in_checkpoint"]
+        n, hosts = anomalies["io_bound > io_in_checkpoint"]
+        assert n == 1
+        assert hosts == [f"host{net.topology.backends[-1]}"]
+
+    def test_homogeneous_job_no_anomalies(self, net):
+        profiles = {r: "cpu_solve" for r in net.topology.backends}
+        pc = PerformanceConsultant(net, profile_of=profiles)
+        rep = pc.diagnose()
+        assert rep.anomalies() == {}
+        assert rep.findings["cpu_bound > cpu_in_solve"][0] == 9
+
+    def test_threshold_controls_sensitivity(self, net):
+        pc = PerformanceConsultant(net)
+        strict = pc.diagnose(threshold=0.95)
+        assert strict.findings == {}  # nothing exceeds 95%

@@ -1,0 +1,103 @@
+"""Tests for the Ladebug/Ygdrasil-style parallel debugger tool."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Network, balanced_topology
+from repro.core.errors import TBONError
+from repro.tools.debugger import ParallelDebugger, SyntheticProcess
+
+
+@pytest.fixture
+def net():
+    network = Network(balanced_topology(3, 2))
+    yield network
+    network.shutdown()
+    assert network.node_errors() == {}
+
+
+class TestSyntheticProcess:
+    def test_profiles(self):
+        p = SyntheticProcess(4, "compute")
+        assert p.stack[-1] == "stencil_kernel"
+        assert p.pc > 0x400000
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(TBONError):
+            SyntheticProcess(1, "wat")
+
+    def test_variable_reads_deterministic(self):
+        p = SyntheticProcess(3, "compute")
+        assert p.read_variable("x") == p.read_variable("x")
+        assert p.read_variable("x") != p.read_variable("y")
+
+
+class TestWhere:
+    def test_stack_equivalence_classes(self, net):
+        dbg = ParallelDebugger(net)
+        try:
+            rep = dbg.where()
+            assert rep.n_processes == 9
+            # Default job: 7 compute, 1 exchange, 1 io_stuck.
+            assert len(rep.classes) == 3
+            assert rep.dominant().endswith("stencil_kernel")
+            outliers = rep.outliers()
+            assert len(outliers) == 2
+            assert all(count == 1 for count, _ranks in outliers.values())
+        finally:
+            dbg.close()
+
+    def test_member_ranks_recorded(self, net):
+        dbg = ParallelDebugger(net)
+        try:
+            rep = dbg.where()
+            all_ranks = sorted(
+                r for _count, ranks in rep.classes.values() for r in ranks
+            )
+            assert all_ranks == sorted(net.topology.backends)
+        finally:
+            dbg.close()
+
+    def test_homogeneous_job_single_class(self, net):
+        profiles = {r: "compute" for r in net.topology.backends}
+        dbg = ParallelDebugger(net, profile_of=profiles)
+        try:
+            rep = dbg.where()
+            assert len(rep.classes) == 1
+            assert rep.outliers() == {}
+        finally:
+            dbg.close()
+
+    def test_repeated_queries(self, net):
+        dbg = ParallelDebugger(net)
+        try:
+            for _ in range(3):
+                rep = dbg.where()
+                assert rep.n_processes == 9
+        finally:
+            dbg.close()
+
+
+class TestVariableGather:
+    def test_print_variable(self, net):
+        dbg = ParallelDebugger(net)
+        try:
+            vals = dbg.print_variable("iteration_count")
+            assert len(vals) == 9
+            # Deterministic per rank: re-reading gives the same gather.
+            again = dbg.print_variable("iteration_count")
+            assert sorted(vals.tolist()) == sorted(again.tolist())
+        finally:
+            dbg.close()
+
+    def test_interleaved_commands(self, net):
+        dbg = ParallelDebugger(net)
+        try:
+            rep1 = dbg.where()
+            vals = dbg.print_variable("x")
+            rep2 = dbg.where()
+            assert rep1.classes.keys() == rep2.classes.keys()
+            assert len(vals) == 9
+        finally:
+            dbg.close()

@@ -1,0 +1,179 @@
+"""Tests for the distributed decision/regression trees (Section 4 future work)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Network, Topology, balanced_topology
+from repro.core.errors import TBONError
+from repro.learn import (
+    DecisionTree,
+    distributed_score,
+    fit_distributed,
+    fit_single,
+    make_classification_shard,
+    make_regression_shard,
+    union_shards,
+)
+
+
+def shards_for(topo, maker=make_classification_shard, seed=7, **kw):
+    return {r: maker(i, seed=seed, **kw) for i, r in enumerate(topo.backends)}
+
+
+class TestSingleNodeFit:
+    def test_trivial_split(self):
+        X = np.array([[0.0], [0.1], [0.9], [1.0]])
+        y = np.array([0.0, 0.0, 1.0, 1.0])
+        t = fit_single(X, y, "classify", max_depth=2, n_bins=8)
+        assert np.array_equal(t.predict(X), y)
+        assert t.depth >= 1
+
+    def test_classification_accuracy(self):
+        X, y = make_classification_shard(0, n_samples=600, seed=7)
+        t = fit_single(X, y, "classify", max_depth=6, n_bins=32)
+        assert (t.predict(X) == y).mean() > 0.9
+
+    def test_regression_learns_piecewise_target(self):
+        X, y = make_regression_shard(0, n_samples=800, noise=0.05, seed=1)
+        t = fit_single(X, y, "regress", max_depth=3, n_bins=32)
+        mse = float(((t.predict(X) - y) ** 2).mean())
+        assert mse < 0.1
+
+    def test_leaf_masks_partition_data(self):
+        X, y = make_classification_shard(0, n_samples=400, seed=3)
+        t = fit_single(X, y, "classify", max_depth=4)
+        leaf_ids = [i for i, n in enumerate(t.nodes) if n.is_leaf]
+        masks = np.array([t.route(X, nid) for nid in leaf_ids])
+        assert np.all(masks.sum(axis=0) == 1)  # exactly one leaf per sample
+        for nid, mask in zip(leaf_ids, masks):
+            assert t.nodes[nid].n_samples == mask.sum()
+
+    def test_pure_node_stops_early(self):
+        X = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.zeros(4)
+        t = fit_single(X, y, "classify", max_depth=5)
+        assert t.n_leaves == 1  # already pure at the root
+
+    def test_max_depth_respected(self):
+        X, y = make_classification_shard(0, n_samples=500, seed=5)
+        t = fit_single(X, y, "classify", max_depth=2)
+        assert t.depth <= 2
+
+    def test_bad_inputs_rejected(self):
+        with pytest.raises(TBONError):
+            fit_single(np.zeros((3, 2)), np.zeros(4))
+        with pytest.raises(TBONError):
+            fit_single(np.zeros((3, 2)), np.zeros(3), task="cluster")
+
+    def test_predict_validates_width(self):
+        X, y = make_classification_shard(0, n_samples=100, seed=2)
+        t = fit_single(X, y, "classify", max_depth=2)
+        with pytest.raises(TBONError):
+            t.predict(np.zeros((5, 99)))
+
+
+class TestDistributedFit:
+    @pytest.mark.parametrize(
+        "topo_factory",
+        [
+            lambda: balanced_topology(2, 2),
+            lambda: Topology({0: [1, 2], 1: [3, 4], 2: [5], 4: [6, 7]}),
+        ],
+    )
+    def test_identical_to_single_node(self, topo_factory):
+        """Sum-reduced statistics make the distributed greedy fit exact."""
+        topo = topo_factory()
+        shards = shards_for(topo, n_samples=150)
+        X, y = union_shards([shards[r] for r in topo.backends])
+        single = fit_single(X, y, "classify", max_depth=4)
+        with Network(topo) as net:
+            dist = fit_distributed(net, shards, "classify", max_depth=4)
+            assert net.node_errors() == {}
+        assert len(single.nodes) == len(dist.nodes)
+        for a, b in zip(single.nodes, dist.nodes):
+            assert a.feature == b.feature
+            assert a.threshold == pytest.approx(b.threshold)
+            assert a.prediction == b.prediction
+            assert a.n_samples == b.n_samples
+
+    def test_regression_identical(self):
+        topo = balanced_topology(2, 2)
+        shards = shards_for(topo, make_regression_shard, seed=3, n_samples=200)
+        X, y = union_shards([shards[r] for r in topo.backends])
+        single = fit_single(X, y, "regress", max_depth=3)
+        with Network(topo) as net:
+            dist = fit_distributed(net, shards, "regress", max_depth=3)
+        assert np.allclose(single.predict(X), dist.predict(X))
+
+    def test_missing_shard_rejected(self):
+        topo = balanced_topology(2, 2)
+        shards = shards_for(topo)
+        shards.pop(topo.backends[0])
+        with Network(topo) as net:
+            with pytest.raises(TBONError, match="missing back-end"):
+                fit_distributed(net, shards)
+
+    def test_distributed_score_classification(self):
+        topo = balanced_topology(2, 2)
+        shards = shards_for(topo, n_samples=300)
+        holdout = {
+            r: make_classification_shard(50 + i, seed=7)
+            for i, r in enumerate(topo.backends)
+        }
+        with Network(topo) as net:
+            tree = fit_distributed(net, shards, "classify", max_depth=6, n_bins=32)
+            acc = distributed_score(net, tree, holdout)
+        assert acc > 0.85
+
+    def test_distributed_score_matches_local_eval(self):
+        topo = balanced_topology(2, 2)
+        shards = shards_for(topo, n_samples=150)
+        X, y = union_shards([shards[r] for r in topo.backends])
+        with Network(topo) as net:
+            tree = fit_distributed(net, shards, "classify", max_depth=4)
+            acc = distributed_score(net, tree, shards)
+        assert acc == pytest.approx((tree.predict(X) == y).mean())
+
+
+# -- property tests --------------------------------------------------------------
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=10_000),
+    st.integers(min_value=1, max_value=4),
+)
+def test_property_leaf_partition(seed, depth):
+    """Every sample reaches exactly one leaf of any fitted tree."""
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(120, 3))
+    y = (X[:, 0] + X[:, 1] > 0).astype(float)
+    t = fit_single(X, y, "classify", max_depth=depth, n_bins=8)
+    leaf_ids = [i for i, n in enumerate(t.nodes) if n.is_leaf]
+    cover = np.zeros(len(X), dtype=int)
+    for nid in leaf_ids:
+        cover += t.route(X, nid)
+    assert np.all(cover == 1)
+    # predict() agrees with per-leaf routing.
+    pred = t.predict(X)
+    for nid in leaf_ids:
+        mask = t.route(X, nid)
+        if mask.any():
+            assert np.all(pred[mask] == t.nodes[nid].prediction)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_property_deeper_trees_fit_no_worse(seed):
+    """Training error is monotone non-increasing in depth (greedy CART)."""
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(-1, 1, size=(200, 2))
+    y = (np.sin(3 * X[:, 0]) > X[:, 1]).astype(float)
+    errs = []
+    for depth in (1, 3, 5):
+        t = fit_single(X, y, "classify", max_depth=depth, n_bins=16)
+        errs.append((t.predict(X) != y).mean())
+    assert errs[0] >= errs[1] >= errs[2]

@@ -1,0 +1,131 @@
+"""Tests for the equivalence-class filter (Figure 2)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import FIRST_APPLICATION_TAG, Network, balanced_topology
+from repro.core.errors import FilterError
+from repro.core.filters import FilterContext
+from repro.core.packet import Packet
+from repro.filters_ext.equivalence import (
+    EQUIVALENCE_FMT,
+    EquivalenceClassFilter,
+    EquivalenceClasses,
+    classify,
+)
+
+TAG = FIRST_APPLICATION_TAG
+
+
+class TestEquivalenceClasses:
+    def test_add_and_counts(self):
+        ec = EquivalenceClasses()
+        ec.add("a", "h1")
+        ec.add("a", "h2")
+        ec.add("b", "h3", count=5)
+        assert ec.counts == {"a": 2, "b": 5}
+        assert ec.n_classes == 2
+        assert ec.total_count == 7
+
+    def test_merge_respects_member_cap(self):
+        a = EquivalenceClasses()
+        b = EquivalenceClasses()
+        for i in range(5):
+            a.add("k", f"a{i}")
+            b.add("k", f"b{i}")
+        a.merge(b, member_cap=6)
+        assert a.counts["k"] == 10  # counts exact
+        assert len(a.members["k"]) == 6  # members capped
+
+    def test_payload_roundtrip(self):
+        ec = classify({"h1": "x", "h2": "x", "h3": "y"})
+        ec2 = EquivalenceClasses.from_payload(*ec.to_payload())
+        assert ec2.counts == ec.counts
+        assert {k: sorted(v) for k, v in ec2.members.items()} == {
+            k: sorted(v) for k, v in ec.members.items()
+        }
+
+    def test_classify_with_key_fn(self):
+        ec = classify({"h1": 12, "h2": 17, "h3": 23}, key_fn=lambda v: str(v // 10))
+        assert ec.counts == {"1": 2, "2": 1}
+
+
+class TestFilter:
+    def _pkt(self, ec):
+        return Packet(1, TAG, EQUIVALENCE_FMT, ec.to_payload())
+
+    def test_merges_batches(self):
+        f = EquivalenceClassFilter()
+        a = classify({"h1": "t1", "h2": "t1"})
+        b = classify({"h3": "t2"})
+        (out,) = f.execute([self._pkt(a), self._pkt(b)], FilterContext(n_children=2))
+        merged = EquivalenceClasses.from_payload(*out.values)
+        assert merged.counts == {"t1": 2, "t2": 1}
+
+    def test_rejects_wrong_format(self):
+        f = EquivalenceClassFilter()
+        bad = Packet(1, TAG, "%d", (1,))
+        with pytest.raises(FilterError):
+            f.execute([bad], FilterContext())
+
+    def test_negative_cap_rejected(self):
+        with pytest.raises(FilterError):
+            EquivalenceClassFilter(max_members_per_class=-1)
+
+    def test_end_to_end_suppression(self):
+        """27 daemons with 3 distinct configurations -> 3 classes."""
+        topo = balanced_topology(3, 3)
+        with Network(topo) as net:
+            s = net.new_stream(transform="equivalence", sync="wait_for_all")
+
+            def leaf(be):
+                be.wait_for_stream(s.stream_id)
+                ec = classify({f"host{be.rank}": f"config-{be.rank % 3}"})
+                be.send(s.stream_id, TAG, EQUIVALENCE_FMT, *ec.to_payload())
+
+            net.run_backends(leaf)
+            pkt = s.recv(timeout=20)
+            merged = EquivalenceClasses.from_payload(*pkt.values)
+            assert merged.n_classes == 3
+            assert merged.total_count == 27
+            assert net.node_errors() == {}
+
+
+# -- property: keyed-union merge is associative and commutative ------------------
+
+classes_strategy = st.dictionaries(
+    st.sampled_from(["a", "b", "c", "d"]),
+    st.integers(min_value=1, max_value=50),
+    max_size=4,
+)
+
+
+def _mk(counts, tag):
+    ec = EquivalenceClasses()
+    for k, n in counts.items():
+        ec.add(k, f"{tag}-{k}", count=n)
+    return ec
+
+
+@settings(max_examples=100, deadline=None)
+@given(classes_strategy, classes_strategy, classes_strategy)
+def test_property_merge_associative_counts(c1, c2, c3):
+    cap = 64
+    left = _mk(c1, "x")
+    left.merge(_mk(c2, "y"), cap)
+    left.merge(_mk(c3, "z"), cap)
+
+    right_inner = _mk(c2, "y")
+    right_inner.merge(_mk(c3, "z"), cap)
+    right = _mk(c1, "x")
+    right.merge(right_inner, cap)
+
+    assert left.counts == right.counts
+    expected = {}
+    for c in (c1, c2, c3):
+        for k, n in c.items():
+            expected[k] = expected.get(k, 0) + n
+    assert left.counts == expected

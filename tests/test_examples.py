@@ -1,0 +1,78 @@
+"""Smoke-run every example script so the shipped demos never rot.
+
+Each example is executed in a subprocess exactly as a user would run it;
+the assertions check the narrative output's key facts, not timing.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, timeout: float = 300.0) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, f"{name} failed:\n{proc.stderr[-2000:]}"
+    return proc.stdout
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "sum of ranks" in out
+        assert "network shut down cleanly" in out
+
+    def test_cluster_monitor(self):
+        out = run_example("cluster_monitor.py")
+        assert "snapshot 3" in out
+        assert "cluster CPU histogram" in out
+
+    def test_failure_recovery(self):
+        out = run_example("failure_recovery.py")
+        assert "wave 1 aggregate: 9" in out
+        assert "wave 2 aggregate: 18" in out
+        assert "wave 3 aggregate: 27" in out
+
+    def test_custom_filter(self):
+        out = run_example("custom_filter.py")
+        assert "loaded custom_filter:TopKFilter" in out
+        assert "after wave 4" in out
+
+    def test_sensor_queries(self):
+        out = run_example("sensor_queries.py")
+        assert "tag>" in out
+        assert "epoch 2" in out
+
+    def test_text_mining(self):
+        out = run_example("text_mining.py")
+        assert "topic terms surfaced from all shards: 15/15" in out
+
+    def test_decision_trees(self):
+        out = run_example("decision_trees.py")
+        assert "identical to single-node fit on the union: True" in out
+
+    def test_paradyn_profiler(self):
+        out = run_example("paradyn_profiler.py")
+        assert "equivalence classes" in out
+        assert "T-startup" in out
+
+    def test_performance_diagnosis(self):
+        out = run_example("performance_diagnosis.py")
+        assert "anomalies (minority behaviours)" in out
+        assert "io_bound > io_in_checkpoint" in out
+
+    def test_distributed_meanshift(self):
+        out = run_example("distributed_meanshift.py", timeout=600)
+        assert "peaks (single vs distributed)" in out
+        assert "Fig. 4" in out

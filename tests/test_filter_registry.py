@@ -1,0 +1,111 @@
+"""Unit tests for the filter registry and dlopen-style dynamic loading."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import FilterLoadError
+from repro.core.filter_registry import (
+    FilterRegistry,
+    default_registry,
+    register_sync,
+    register_transform,
+)
+from repro.core.filters import SynchronizationFilter, TransformationFilter
+
+
+class MyFilter(TransformationFilter):
+    def transform(self, packets, ctx):
+        return packets[0]
+
+
+class MySync(SynchronizationFilter):
+    def push(self, packet, child, ctx):
+        return [[packet]]
+
+
+class TestRegistration:
+    def test_builtins_present(self):
+        for name in ("sum", "min", "max", "avg", "count", "concat", "passthrough"):
+            assert default_registry.resolve_transform(name)
+        for name in ("wait_for_all", "time_out", "null"):
+            assert default_registry.resolve_sync(name)
+
+    def test_add_and_make(self):
+        reg = FilterRegistry()
+        reg.add_transform("mine", MyFilter)
+        inst = reg.make_transform("mine", alpha=2)
+        assert isinstance(inst, MyFilter)
+        assert inst.params == {"alpha": 2}
+
+    def test_duplicate_rejected(self):
+        reg = FilterRegistry()
+        reg.add_transform("mine", MyFilter)
+        with pytest.raises(FilterLoadError):
+            reg.add_transform("mine", MyFilter)
+        reg.add_transform("mine", MyFilter, replace=True)  # explicit ok
+
+    def test_wrong_base_class_rejected(self):
+        reg = FilterRegistry()
+        with pytest.raises(FilterLoadError):
+            reg.add_transform("bad", MySync)  # type: ignore[arg-type]
+        with pytest.raises(FilterLoadError):
+            reg.add_sync("bad", MyFilter)  # type: ignore[arg-type]
+
+    def test_decorators(self):
+        reg = FilterRegistry()
+
+        @register_transform("deco", reg)
+        class Deco(TransformationFilter):
+            def transform(self, packets, ctx):
+                return None
+
+        @register_sync("deco_sync", reg)
+        class DecoSync(SynchronizationFilter):
+            def push(self, packet, child, ctx):
+                return []
+
+        assert reg.resolve_transform("deco") is Deco
+        assert reg.resolve_sync("deco_sync") is DecoSync
+        assert Deco.name == "deco"
+
+
+class TestDynamicLoading:
+    """The importlib path — MRNet's dlopen analogue."""
+
+    def test_load_by_module_path(self):
+        reg = FilterRegistry()
+        cls = reg.resolve_transform(
+            "repro.cluster.meanshift_filter:MeanShiftFilter"
+        )
+        assert cls.__name__ == "MeanShiftFilter"
+        # Cached after first load.
+        assert (
+            reg.resolve_transform("repro.cluster.meanshift_filter:MeanShiftFilter")
+            is cls
+        )
+
+    def test_load_sync_by_module_path(self):
+        reg = FilterRegistry()
+        cls = reg.resolve_sync("repro.core.sync_filters:TimeOut")
+        assert cls.__name__ == "TimeOut"
+
+    def test_unknown_plain_name(self):
+        with pytest.raises(FilterLoadError, match="not registered"):
+            FilterRegistry().resolve_transform("no_such_filter")
+
+    def test_missing_module(self):
+        with pytest.raises(FilterLoadError, match="cannot import"):
+            FilterRegistry().resolve_transform("no.such.module:Thing")
+
+    def test_missing_attribute(self):
+        with pytest.raises(FilterLoadError, match="no attribute"):
+            FilterRegistry().resolve_transform("repro.core.sync_filters:Nope")
+
+    def test_wrong_type_loaded(self):
+        with pytest.raises(FilterLoadError, match="not a TransformationFilter"):
+            FilterRegistry().resolve_transform("repro.core.sync_filters:TimeOut")
+        with pytest.raises(FilterLoadError, match="not a SynchronizationFilter"):
+            FilterRegistry().resolve_sync(
+                "repro.cluster.meanshift_filter:MeanShiftFilter"
+            )

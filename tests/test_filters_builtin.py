@@ -1,0 +1,261 @@
+"""Unit and property tests for MRNet's built-in transformation filters."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.builtin_filters import (
+    AverageFilter,
+    ConcatFilter,
+    CountFilter,
+    MaxFilter,
+    MinFilter,
+    SumFilter,
+)
+from repro.core.errors import FilterError
+from repro.core.filters import (
+    FilterContext,
+    FunctionFilter,
+    PassthroughFilter,
+    SuperFilter,
+)
+from repro.core.packet import Packet, make_packet
+
+
+def ctx(n_children=2, is_root=False):
+    return FilterContext(node_rank=1, stream_id=1, n_children=n_children, is_root=is_root)
+
+
+def pkts(fmt, *value_tuples, srcs=None):
+    srcs = srcs or list(range(10, 10 + len(value_tuples)))
+    return [
+        Packet(1, 100, fmt, vals, src=s) for vals, s in zip(value_tuples, srcs)
+    ]
+
+
+class TestSumMinMax:
+    def test_sum_scalars(self):
+        (out,) = SumFilter().execute(pkts("%d", (1,), (2,), (3,)), ctx())
+        assert out.values == (6,)
+
+    def test_sum_mixed_slots(self):
+        batch = pkts(
+            "%d %af",
+            (1, np.array([1.0, 2.0])),
+            (2, np.array([10.0, 20.0])),
+        )
+        (out,) = SumFilter().execute(batch, ctx())
+        assert out.values[0] == 3
+        assert np.array_equal(out.values[1], [11.0, 22.0])
+
+    def test_min_max(self):
+        batch = pkts("%f", (3.0,), (-1.0,), (2.0,))
+        assert MinFilter().execute(batch, ctx())[0].values == (-1.0,)
+        assert MaxFilter().execute(batch, ctx())[0].values == (3.0,)
+
+    def test_elementwise_arrays(self):
+        batch = pkts("%ad", (np.array([1, 5]),), (np.array([4, 2]),))
+        assert np.array_equal(MinFilter().execute(batch, ctx())[0].values[0], [1, 2])
+        assert np.array_equal(MaxFilter().execute(batch, ctx())[0].values[0], [4, 5])
+
+    def test_mixed_formats_rejected(self):
+        batch = [make_packet(1, 100, "%d", 1), make_packet(1, 100, "%f", 1.0)]
+        with pytest.raises(FilterError):
+            SumFilter().execute(batch, ctx())
+
+    def test_shape_mismatch_rejected(self):
+        batch = pkts("%af", (np.array([1.0]),), (np.array([1.0, 2.0]),))
+        with pytest.raises(FilterError):
+            SumFilter().execute(batch, ctx())
+
+    def test_string_slot_rejected(self):
+        batch = pkts("%s", ("a",), ("b",))
+        with pytest.raises(FilterError):
+            SumFilter().execute(batch, ctx())
+
+    def test_empty_batch_is_noop(self):
+        assert SumFilter().execute([], ctx()) == []
+
+
+class TestCount:
+    def test_counts_sum(self):
+        (out,) = CountFilter().execute(pkts("%ud", (1,), (1,), (5,)), ctx())
+        assert out.values == (7,)
+
+    def test_requires_single_int_slot(self):
+        with pytest.raises(FilterError):
+            CountFilter().execute(pkts("%f", (1.0,)), ctx())
+
+
+class TestAverage:
+    def test_flat_average(self):
+        (out,) = AverageFilter().execute(
+            pkts("%f", (1.0,), (2.0,), (6.0,)), ctx(is_root=True)
+        )
+        assert out.values[0] == pytest.approx(3.0)
+
+    def test_two_level_weighted(self):
+        """avg of avgs must weight by contribution count."""
+        f_internal = AverageFilter()
+        f_root = AverageFilter()
+        # Internal node A aggregates 3 leaves; internal node B only 1.
+        (partial_a,) = f_internal.execute(
+            pkts("%f", (0.0,), (0.0,), (0.0,)), ctx(3)
+        )
+        (partial_b,) = AverageFilter().execute(pkts("%f", (8.0,)), ctx(1))
+        (out,) = f_root.execute([partial_a, partial_b], ctx(2, is_root=True))
+        # True mean of (0,0,0,8) is 2, not mean-of-means 4.
+        assert out.values[0] == pytest.approx(2.0)
+
+    def test_array_slots(self):
+        (out,) = AverageFilter().execute(
+            pkts("%af", (np.array([2.0, 4.0]),), (np.array([4.0, 8.0]),)),
+            ctx(is_root=True),
+        )
+        assert np.allclose(out.values[0], [3.0, 6.0])
+
+    def test_backend_payload_ending_in_ud_not_misread(self):
+        """A back-end packet whose format ends in %ud is data, not a
+        partial sum (regression: the filter used to guess from format)."""
+        (out,) = AverageFilter().execute(
+            pkts("%f %ud", (2.0, 100), (4.0, 300)), ctx(is_root=True)
+        )
+        assert out.values[0] == pytest.approx(3.0)
+        assert out.values[1] == pytest.approx(200.0)
+
+
+class TestConcat:
+    def test_scalar_promotion_ordered_by_src(self):
+        batch = pkts("%d", (3,), (1,), (2,), srcs=[30, 10, 20])
+        (out,) = ConcatFilter().execute(batch, ctx())
+        assert np.array_equal(out.values[0], [1, 2, 3])
+        assert out.fmt == "%ad"
+
+    def test_array_concat(self):
+        batch = pkts("%af", (np.array([1.0]),), (np.array([2.0, 3.0]),))
+        (out,) = ConcatFilter().execute(batch, ctx())
+        assert np.array_equal(out.values[0], [1.0, 2.0, 3.0])
+
+    def test_string_and_list_concat(self):
+        batch = pkts("%s %as", ("ab", ["x"]), ("cd", ["y", "z"]))
+        (out,) = ConcatFilter().execute(batch, ctx())
+        assert out.values[0] == "abcd"
+        assert out.values[1] == ["x", "y", "z"]
+
+    def test_matrix_concat(self):
+        batch = pkts(
+            "%am", (np.ones((2, 2)),), (np.zeros((1, 2)),)
+        )
+        (out,) = ConcatFilter().execute(batch, ctx())
+        assert out.values[0].shape == (3, 2)
+        assert out.fmt == "%am"
+
+    def test_mixed_scalar_and_array_slot(self):
+        """Unbalanced trees mix leaf scalars with promoted arrays."""
+        a = Packet(1, 100, "%d", (5,), src=10)
+        b = Packet(1, 100, "%ad", (np.array([1, 2]),), src=5)
+        (out,) = ConcatFilter().execute([a, b], ctx())
+        assert sorted(out.values[0].tolist()) == [1, 2, 5]
+
+
+class TestCombinators:
+    def test_passthrough_forwards_all(self):
+        batch = pkts("%d", (1,), (2,))
+        out = PassthroughFilter().execute(batch, ctx())
+        assert out == list(batch)
+
+    def test_function_filter(self):
+        f = FunctionFilter(lambda ps, c: ps[0])
+        batch = pkts("%d", (9,), (8,))
+        assert f.execute(batch, ctx()) == [batch[0]]
+
+    def test_function_filter_returning_none(self):
+        f = FunctionFilter(lambda ps, c: None)
+        assert f.execute(pkts("%d", (1,)), ctx()) == []
+
+    def test_super_filter_chains(self):
+        # Stage 1 sums; stage 2 doubles the sum.
+        double = FunctionFilter(
+            lambda ps, c: ps[0].with_values([ps[0].values[0] * 2])
+        )
+        sf = SuperFilter([SumFilter(), double])
+        (out,) = sf.execute(pkts("%d", (1,), (2,)), ctx())
+        assert out.values == (6,)
+
+    def test_super_filter_empty_stage_list_rejected(self):
+        with pytest.raises(FilterError):
+            SuperFilter([])
+
+    def test_bad_return_type_rejected(self):
+        f = FunctionFilter(lambda ps, c: "garbage")
+        with pytest.raises(FilterError):
+            f.execute(pkts("%d", (1,)), ctx())
+
+    def test_filter_exception_wrapped(self):
+        def boom(ps, c):
+            raise ValueError("inner")
+
+        with pytest.raises(FilterError, match="inner"):
+            FunctionFilter(boom).execute(pkts("%d", (1,)), ctx())
+
+
+# -- property: tree reduction == flat reduction for associative filters ---------
+
+@st.composite
+def leaf_values_and_split(draw):
+    values = draw(st.lists(st.integers(-1000, 1000), min_size=2, max_size=12))
+    split = draw(st.integers(min_value=1, max_value=len(values) - 1))
+    return values, split
+
+
+@settings(max_examples=100, deadline=None)
+@given(leaf_values_and_split())
+def test_property_sum_tree_equals_flat(case):
+    values, split = case
+    batch = pkts("%d", *[(v,) for v in values])
+    flat = SumFilter().execute(batch, ctx())[0].values[0]
+    left = SumFilter().execute(batch[:split], ctx())[0]
+    right = SumFilter().execute(batch[split:], ctx())[0]
+    tree = SumFilter().execute([left, right], ctx())[0].values[0]
+    assert tree == flat == sum(values)
+
+
+@settings(max_examples=100, deadline=None)
+@given(leaf_values_and_split())
+def test_property_minmax_tree_equals_flat(case):
+    values, split = case
+    batch = pkts("%d", *[(v,) for v in values])
+    for F, expect in ((MinFilter, min), (MaxFilter, max)):
+        flat = F().execute(batch, ctx())[0].values[0]
+        left = F().execute(batch[:split], ctx())[0]
+        right = F().execute(batch[split:], ctx())[0]
+        tree = F().execute([left, right], ctx())[0].values[0]
+        assert tree == flat == expect(values)
+
+
+@settings(max_examples=100, deadline=None)
+@given(leaf_values_and_split())
+def test_property_avg_tree_equals_flat(case):
+    """The carried-count trick makes avg exact on any split."""
+    values, split = case
+    batch = pkts("%f", *[(float(v),) for v in values])
+    flat = AverageFilter().execute(batch, ctx(is_root=True))[0].values[0]
+    left = AverageFilter().execute(batch[:split], ctx())[0]
+    right = AverageFilter().execute(batch[split:], ctx())[0]
+    tree = AverageFilter().execute([left, right], ctx(is_root=True))[0].values[0]
+    assert tree == pytest.approx(flat) == pytest.approx(np.mean(values))
+
+
+@settings(max_examples=100, deadline=None)
+@given(leaf_values_and_split())
+def test_property_concat_tree_equals_flat(case):
+    values, split = case
+    batch = pkts("%d", *[(v,) for v in values])
+    flat = ConcatFilter().execute(batch, ctx())[0].values[0]
+    left = ConcatFilter().execute(batch[:split], ctx())[0]
+    right = ConcatFilter().execute(batch[split:], ctx())[0]
+    tree = ConcatFilter().execute([left, right], ctx())[0].values[0]
+    assert np.array_equal(np.sort(tree), np.sort(flat))

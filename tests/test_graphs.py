@@ -1,0 +1,202 @@
+"""Tests for graph folding (SGFA) and graph merging filters."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import FIRST_APPLICATION_TAG, Network, balanced_topology
+from repro.core.errors import FilterError
+from repro.core.filters import FilterContext
+from repro.core.packet import Packet
+from repro.filters_ext.graph_fold import (
+    GRAPH_FMT,
+    label_paths_without_shim,
+    SubGraphFoldFilter,
+    composite_from_payload,
+    fold_graphs,
+    graph_root,
+    label_paths,
+    tree_payload,
+)
+from repro.filters_ext.graph_merge import (
+    GraphMergeFilter,
+    graph_from_payload,
+    graph_to_payload,
+    merge_graphs,
+)
+
+TAG = FIRST_APPLICATION_TAG
+
+
+def labelled_tree(host: str, labels_edges):
+    """Build a DiGraph from [(node, label)], [(u, v)] pairs."""
+    nodes, edges = labels_edges
+    g = nx.DiGraph(host=host)
+    for nid, label in nodes:
+        g.add_node(nid, label=label)
+    g.add_edges_from(edges)
+    return g
+
+
+SIMPLE = ([(0, "root"), (1, "cpu"), (2, "io")], [(0, 1), (0, 2)])
+SIMPLE_B = ([(0, "root"), (1, "cpu"), (2, "net")], [(0, 1), (0, 2)])
+
+
+class TestFold:
+    def test_identical_trees_collapse(self):
+        g1 = labelled_tree("h1", SIMPLE)
+        g2 = labelled_tree("h2", SIMPLE)
+        comp = fold_graphs([g1, g2])
+        # @root + root + cpu + io
+        assert len(comp) == 4
+        paths = label_paths_without_shim(comp)
+        assert paths["root"][0] == {"h1", "h2"}
+        assert paths["root"][1] == 2
+
+    def test_divergent_children_coexist(self):
+        comp = fold_graphs([labelled_tree("h1", SIMPLE), labelled_tree("h2", SIMPLE_B)])
+        labels = sorted(d["label"] for _n, d in comp.nodes(data=True))
+        assert labels == ["@root", "cpu", "io", "net", "root"]
+
+    def test_different_roots_do_not_collapse(self):
+        a = labelled_tree("h1", ([(0, "A")], []))
+        b = labelled_tree("h2", ([(0, "B")], []))
+        comp = fold_graphs([a, b])
+        assert comp.out_degree("@root") == 2
+
+    def test_refold_composite_with_tree(self):
+        comp1 = fold_graphs([labelled_tree("h1", SIMPLE)])
+        comp2 = fold_graphs([comp1, labelled_tree("h2", SIMPLE)])
+        paths = label_paths_without_shim(comp2)
+        assert paths["root"][0] == {"h1", "h2"}
+
+    def test_multi_root_graph_rejected(self):
+        g = nx.DiGraph()
+        g.add_node(0, label="a")
+        g.add_node(1, label="b")
+        with pytest.raises(FilterError):
+            graph_root(g)
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(FilterError):
+            fold_graphs([])
+
+    def test_sibling_label_duplicates_fold_within_tree(self):
+        """Two same-labelled siblings occupy one composite position with
+        count 2 (SGFA collapses repeated qualitative structure)."""
+        g = labelled_tree("h", ([(0, "r"), (1, "x"), (2, "x")], [(0, 1), (0, 2)]))
+        comp = fold_graphs([g])
+        paths = label_paths_without_shim(comp)
+        x_key = [k for k in paths if k.endswith("x")][0]
+        assert paths[x_key][1] == 2
+
+
+class TestFoldFilter:
+    def test_mixed_tree_and_composite_batch(self):
+        f = SubGraphFoldFilter()
+        ctx = FilterContext(n_children=2)
+        p1 = Packet(1, TAG, GRAPH_FMT, (tree_payload(*SIMPLE, host="h1"),))
+        p2 = Packet(1, TAG, GRAPH_FMT, (tree_payload(*SIMPLE, host="h2"),))
+        (lower,) = f.execute([p1, p2], ctx)
+        p3 = Packet(1, TAG, GRAPH_FMT, (tree_payload(*SIMPLE_B, host="h3"),))
+        (out,) = f.execute([lower, p3], ctx)
+        comp = composite_from_payload(out.values[0])
+        paths = label_paths_without_shim(comp)
+        assert paths["root"][0] == {"h1", "h2", "h3"}
+
+    def test_bad_payload_rejected(self):
+        f = SubGraphFoldFilter()
+        bad = Packet(1, TAG, GRAPH_FMT, ({"nodes": []},))
+        with pytest.raises(FilterError):
+            f.execute([bad], FilterContext())
+
+    def test_end_to_end_thousand_host_style(self):
+        """9 daemons, 2 qualitative shapes -> composite with host unions."""
+        topo = balanced_topology(3, 2)
+        with Network(topo) as net:
+            s = net.new_stream(transform="graph_fold", sync="wait_for_all")
+
+            def leaf(be):
+                be.wait_for_stream(s.stream_id)
+                shape = SIMPLE if be.rank % 2 == 0 else SIMPLE_B
+                be.send(
+                    s.stream_id, TAG, GRAPH_FMT,
+                    tree_payload(*shape, host=f"h{be.rank}"),
+                )
+
+            net.run_backends(leaf)
+            comp = composite_from_payload(s.recv(timeout=15).values[0])
+            paths = label_paths_without_shim(comp)
+            hosts, count = paths["root"]
+            assert count == 9
+            assert len(hosts) == 9
+            assert net.node_errors() == {}
+
+
+class TestGraphMerge:
+    def test_union_with_attr_accumulation(self):
+        g1 = nx.DiGraph()
+        g1.add_edge("main", "f", calls=3)
+        g1.nodes["main"]["hosts"] = {"h1"}
+        g2 = nx.DiGraph()
+        g2.add_edge("main", "f", calls=4)
+        g2.add_edge("f", "g", calls=1)
+        g2.nodes["main"]["hosts"] = {"h2"}
+        m = merge_graphs([g1, g2])
+        assert m.edges["main", "f"]["calls"] == 7
+        assert m.nodes["main"]["hosts"] == {"h1", "h2"}
+        assert m.has_edge("f", "g")
+
+    def test_payload_roundtrip(self):
+        g = nx.DiGraph()
+        g.add_edge("a", "b", w=2)
+        g.nodes["a"]["hosts"] = {"x"}
+        g2 = graph_from_payload(graph_to_payload(g))
+        assert list(g2.edges(data=True)) == list(g.edges(data=True))
+
+    def test_filter(self):
+        f = GraphMergeFilter()
+        g = nx.DiGraph()
+        g.add_edge("a", "b", w=1)
+        p = Packet(1, TAG, GRAPH_FMT, (graph_to_payload(g),))
+        (out,) = f.execute([p, p], FilterContext(n_children=2))
+        m = graph_from_payload(out.values[0])
+        assert m.edges["a", "b"]["w"] == 2
+
+    def test_bad_payload_rejected(self):
+        f = GraphMergeFilter()
+        with pytest.raises(FilterError):
+            f.execute([Packet(1, TAG, GRAPH_FMT, ({"wat": 1},))], FilterContext())
+
+
+# -- property: folding is associative ------------------------------------------
+
+@st.composite
+def random_labelled_tree(draw):
+    n = draw(st.integers(min_value=1, max_value=8))
+    labels = [draw(st.sampled_from(["a", "b", "c"])) for _ in range(n)]
+    nodes = [(i, labels[i]) for i in range(n)]
+    edges = [
+        (draw(st.integers(min_value=0, max_value=i - 1)), i) for i in range(1, n)
+    ]
+    host = draw(st.sampled_from(["h1", "h2", "h3", "h4"]))
+    return labelled_tree(host, (nodes, edges))
+
+
+def _normalize(comp):
+    return sorted(
+        (n, d["label"], tuple(sorted(d["hosts"])), d["count"])
+        for n, d in comp.nodes(data=True)
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_labelled_tree(), random_labelled_tree(), random_labelled_tree())
+def test_property_fold_associative(a, b, c):
+    direct = fold_graphs([a, b, c])
+    nested_left = fold_graphs([fold_graphs([a, b]), c])
+    nested_right = fold_graphs([a, fold_graphs([b, c])])
+    assert _normalize(direct) == _normalize(nested_left) == _normalize(nested_right)

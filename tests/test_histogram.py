@@ -1,0 +1,133 @@
+"""Tests for histogram filters."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import FIRST_APPLICATION_TAG, Network, balanced_topology
+from repro.core.errors import FilterError
+from repro.core.filters import FilterContext
+from repro.core.packet import Packet
+from repro.filters_ext.histogram import (
+    ADAPTIVE_HISTOGRAM_FMT,
+    AdaptiveHistogramFilter,
+    HISTOGRAM_FMT,
+    HistogramFilter,
+    histogram_counts,
+    sketch_values,
+)
+
+TAG = FIRST_APPLICATION_TAG
+
+
+class TestFixedHistogram:
+    def test_counts(self):
+        edges = np.array([0.0, 1.0, 2.0, 3.0])
+        c = histogram_counts(np.array([0.5, 0.6, 1.5, 2.5, 2.6]), edges)
+        assert c.tolist() == [2, 1, 2]
+
+    def test_filter_sums(self):
+        f = HistogramFilter()
+        a = Packet(1, TAG, HISTOGRAM_FMT, (np.array([1, 2, 3], dtype=np.int64),))
+        b = Packet(1, TAG, HISTOGRAM_FMT, (np.array([10, 0, 1], dtype=np.int64),))
+        (out,) = f.execute([a, b], FilterContext(n_children=2))
+        assert out.values[0].tolist() == [11, 2, 4]
+
+    def test_width_mismatch_rejected(self):
+        f = HistogramFilter()
+        a = Packet(1, TAG, HISTOGRAM_FMT, (np.zeros(3, dtype=np.int64),))
+        b = Packet(1, TAG, HISTOGRAM_FMT, (np.zeros(4, dtype=np.int64),))
+        with pytest.raises(FilterError):
+            f.execute([a, b], FilterContext())
+
+    def test_configured_bins_enforced(self):
+        f = HistogramFilter(n_bins=8)
+        a = Packet(1, TAG, HISTOGRAM_FMT, (np.zeros(3, dtype=np.int64),))
+        with pytest.raises(FilterError):
+            f.execute([a], FilterContext())
+
+    def test_end_to_end(self, rng):
+        topo = balanced_topology(2, 2)
+        edges = np.linspace(0, 100, 21)
+        leaf_vals = {
+            r: rng.uniform(0, 100, size=50) for r in topo.backends
+        }
+        with Network(topo) as net:
+            s = net.new_stream(transform="histogram", sync="wait_for_all")
+
+            def leaf(be):
+                be.wait_for_stream(s.stream_id)
+                be.send(
+                    s.stream_id, TAG, HISTOGRAM_FMT,
+                    histogram_counts(leaf_vals[be.rank], edges),
+                )
+
+            net.run_backends(leaf)
+            out = s.recv(timeout=10).values[0]
+            expected = histogram_counts(
+                np.concatenate(list(leaf_vals.values())), edges
+            )
+            assert np.array_equal(out, expected)
+            assert net.node_errors() == {}
+
+
+class TestAdaptiveHistogram:
+    def test_sketch_basics(self):
+        lo, hi, counts = sketch_values(np.array([1.0, 2.0, 3.0]), 4)
+        assert (lo, hi) == (1.0, 3.0)
+        assert counts.sum() == 3
+
+    def test_sketch_degenerate_range(self):
+        lo, hi, counts = sketch_values(np.array([5.0, 5.0]), 4)
+        assert hi > lo
+        assert counts.sum() == 2
+
+    def test_sketch_empty(self):
+        lo, hi, counts = sketch_values(np.empty(0), 4)
+        assert counts.sum() == 0
+
+    def test_merge_preserves_total(self):
+        f = AdaptiveHistogramFilter(n_bins=8)
+        a = Packet(1, TAG, ADAPTIVE_HISTOGRAM_FMT, sketch_values(np.arange(10.0), 8))
+        b = Packet(
+            1, TAG, ADAPTIVE_HISTOGRAM_FMT, sketch_values(np.arange(100.0, 150.0), 8)
+        )
+        (out,) = f.execute([a, b], FilterContext(n_children=2))
+        lo, hi, counts = out.values
+        assert counts.sum() == 60
+        assert lo == 0.0 and hi == 149.0
+
+    def test_width_mismatch_rejected(self):
+        f = AdaptiveHistogramFilter(n_bins=8)
+        a = Packet(1, TAG, ADAPTIVE_HISTOGRAM_FMT, sketch_values(np.arange(10.0), 4))
+        with pytest.raises(FilterError):
+            f.execute([a], FilterContext())
+
+    def test_all_empty_children(self):
+        f = AdaptiveHistogramFilter(n_bins=4)
+        a = Packet(1, TAG, ADAPTIVE_HISTOGRAM_FMT, sketch_values(np.empty(0), 4))
+        (out,) = f.execute([a, a], FilterContext(n_children=2))
+        assert out.values[2].sum() == 0
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=30),
+        min_size=2,
+        max_size=5,
+    )
+)
+def test_property_adaptive_merge_total_exact(groups):
+    """However sketches re-bin, total counts are conserved exactly."""
+    n_bins = 16
+    f = AdaptiveHistogramFilter(n_bins=n_bins)
+    packets = [
+        Packet(1, TAG, ADAPTIVE_HISTOGRAM_FMT, sketch_values(np.asarray(g), n_bins))
+        for g in groups
+    ]
+    (out,) = f.execute(packets, FilterContext(n_children=len(groups)))
+    assert out.values[2].sum() == sum(len(g) for g in groups)

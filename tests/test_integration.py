@@ -1,0 +1,169 @@
+"""Cross-module integration scenarios on live networks."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import FIRST_APPLICATION_TAG, Network, balanced_topology, deep_topology
+from repro.cluster.datagen import ClusterSpec, leaf_dataset
+from repro.cluster.meanshift_filter import MEANSHIFT_FMT, leaf_mean_shift
+from repro.filters_ext.equivalence import EQUIVALENCE_FMT, EquivalenceClasses, classify
+from repro.learn import fit_distributed, make_classification_shard
+from repro.reliability import FailureInjector, recover_from_failure
+from repro.tools.tag import TagService
+from conftest import send_from_all
+
+TAG = FIRST_APPLICATION_TAG
+
+
+class TestMixedWorkload:
+    def test_tool_and_application_streams_coexist(self):
+        """A monitoring stream, an equivalence stream and a clustering
+        stream share one tree concurrently (the MRNet flexible
+        communication model at full stretch)."""
+        topo = balanced_topology(3, 2)
+        spec = ClusterSpec(points_per_cluster=80)
+        with Network(topo) as net:
+            s_mon = net.new_stream(transform="avg", sync="wait_for_all")
+            s_eq = net.new_stream(transform="equivalence", sync="wait_for_all")
+            s_ms = net.new_stream(
+                transform="mean_shift",
+                sync="wait_for_all",
+                transform_params={"bandwidth": 50.0},
+            )
+            order = {r: i for i, r in enumerate(topo.backends)}
+
+            def leaf(be):
+                for s in (s_mon, s_eq, s_ms):
+                    be.wait_for_stream(s.stream_id)
+                be.send(s_mon.stream_id, TAG, "%f", float(be.rank))
+                ec = classify({f"h{be.rank}": f"cfg{be.rank % 2}"})
+                be.send(s_eq.stream_id, TAG, EQUIVALENCE_FMT, *ec.to_payload())
+                d, w, pk, _ = leaf_mean_shift(leaf_dataset(order[be.rank], spec, 3))
+                be.send(s_ms.stream_id, TAG, MEANSHIFT_FMT, d, w, pk)
+
+            net.run_backends(leaf)
+            avg = s_mon.recv(timeout=20).values[0]
+            assert avg == pytest.approx(np.mean(topo.backends))
+            ec = EquivalenceClasses.from_payload(*s_eq.recv(timeout=20).values)
+            assert ec.n_classes == 2 and ec.total_count == 9
+            peaks = s_ms.recv(timeout=30).values[2]
+            assert 1 <= len(peaks) <= 8
+            for s in (s_mon, s_eq, s_ms):
+                s.close(timeout=15)
+            assert net.node_errors() == {}
+
+    def test_learning_after_recovery(self):
+        """Fit a distributed model on a tree that lost an internal node."""
+        topo = balanced_topology(3, 2)
+        net = Network(topo)
+        try:
+            victim = topo.internals[0]
+            FailureInjector(net).kill_node(victim)
+            recover_from_failure(net, victim)
+            time.sleep(0.3)
+            shards = {
+                r: make_classification_shard(i, n_samples=120, seed=4)
+                for i, r in enumerate(net.topology.backends)
+            }
+            tree = fit_distributed(net, shards, "classify", max_depth=3)
+            assert tree.depth >= 1
+            assert net.node_errors() == {}
+        finally:
+            net.shutdown()
+
+    def test_tag_after_attach(self):
+        """Declarative queries see back-ends attached after startup."""
+        net = Network(balanced_topology(2, 2))
+        try:
+            net.attach_backend(net.topology.internals[0])
+            time.sleep(0.2)
+            svc = TagService(net, sampler=lambda rank, epoch: {"v": 1.0})
+            (res,) = svc.execute("SELECT sum(v) FROM s")
+            assert res.values["sum(v)"] == 5.0  # 4 original + 1 attached
+        finally:
+            net.shutdown()
+
+
+class TestStress:
+    def test_many_concurrent_streams(self):
+        """32 overlapping streams with different filters, one wave each."""
+        topo = balanced_topology(3, 2)
+        with Network(topo) as net:
+            streams = [
+                net.new_stream(
+                    transform=["sum", "min", "max", "concat"][i % 4],
+                    sync="wait_for_all",
+                )
+                for i in range(32)
+            ]
+
+            def leaf(be):
+                for s in streams:
+                    be.wait_for_stream(s.stream_id)
+                for s in streams:
+                    be.send(s.stream_id, TAG, "%d", be.rank)
+
+            net.run_backends(leaf)
+            for i, s in enumerate(streams):
+                pkt = s.recv(timeout=20)
+                kind = ["sum", "min", "max", "concat"][i % 4]
+                if kind == "sum":
+                    assert pkt.values[0] == sum(topo.backends)
+                elif kind == "min":
+                    assert pkt.values[0] == min(topo.backends)
+                elif kind == "max":
+                    assert pkt.values[0] == max(topo.backends)
+                else:
+                    assert sorted(pkt.values[0].tolist()) == sorted(topo.backends)
+            assert net.node_errors() == {}
+
+    def test_many_waves_sustained(self):
+        """200 aligned waves through a depth-2 tree without loss."""
+        topo = balanced_topology(2, 2)
+        n_waves = 200
+        with Network(topo) as net:
+            s = net.new_stream(transform="sum", sync="wait_for_all")
+
+            def leaf(be):
+                be.wait_for_stream(s.stream_id)
+                for w in range(n_waves):
+                    be.send(s.stream_id, TAG, "%d", w)
+
+            net.run_backends(leaf)
+            for w in range(n_waves):
+                assert s.recv(timeout=20).values[0] == 4 * w
+            assert net.node_errors() == {}
+
+    def test_large_payloads(self):
+        """Megabyte-scale arrays traverse the tree intact (thread + TCP)."""
+        big = np.arange(200_000, dtype=np.float64)  # 1.6 MB
+        for transport in ("thread", "tcp"):
+            with Network(balanced_topology(2, 2), transport=transport) as net:
+                s = net.new_stream(transform="sum", sync="wait_for_all")
+                send_from_all(net, s, TAG, "%af", lambda r: big)
+                out = s.recv(timeout=30).values[0]
+                assert np.array_equal(out, big * 4)
+                assert net.node_errors() == {}
+
+    def test_wide_flat_tree(self):
+        """A 64-way fan-out flat tree (the paper's bottleneck regime)."""
+        topo = deep_topology(64, 64)  # flat: root with 64 children
+        assert topo.n_internal == 0
+        with Network(topo) as net:
+            s = net.new_stream(transform="count", sync="wait_for_all")
+            send_from_all(net, s, TAG, "%ud", lambda r: 1)
+            assert s.recv(timeout=30).values[0] == 64
+            assert net.node_errors() == {}
+
+    def test_deep_narrow_tree(self):
+        """Depth-5 binary tree: many hops, filters at every level."""
+        topo = balanced_topology(2, 5)  # 32 leaves, 30 internal
+        with Network(topo) as net:
+            s = net.new_stream(transform="sum", sync="wait_for_all")
+            send_from_all(net, s, TAG, "%d", lambda r: 1)
+            assert s.recv(timeout=30).values[0] == 32
+            assert net.node_errors() == {}

@@ -1,0 +1,114 @@
+"""Cross-module invariant property tests (hypothesis).
+
+Invariants that hold regardless of tree shape, arrival order, or data:
+conservation (nothing created or lost by aggregation), composition
+(per-edge estimates sum along paths), determinism (the simulator is a
+pure function of its inputs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.filters import FilterContext
+from repro.core.packet import Packet
+from repro.core.topology import Topology, deep_topology
+from repro.filters_ext.clock_skew import SkewClock, tree_skew_detection
+from repro.filters_ext.time_align import TIME_ALIGN_IN_FMT, TimeAlignedAggregator
+from repro.simulate.simnet import SimCosts, SimTBON, WaveMessage
+
+
+@st.composite
+def random_tree(draw):
+    n = draw(st.integers(min_value=2, max_value=25))
+    parents = [draw(st.integers(min_value=0, max_value=i - 1)) for i in range(1, n)]
+    children: dict[int, list[int]] = {i: [] for i in range(n)}
+    for child, parent in enumerate(parents, start=1):
+        children[parent].append(child)
+    return Topology(children)
+
+
+# -- time-aligned aggregation conserves mass ------------------------------------
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=3),     # child link id
+            st.floats(min_value=-50, max_value=50),    # timestamp
+            st.floats(min_value=-10, max_value=10),    # value
+        ),
+        min_size=1,
+        max_size=40,
+    ),
+    st.floats(min_value=0.5, max_value=20.0),
+)
+def test_property_time_align_conserves_sum_and_count(samples, bin_width):
+    """Whatever the binning, flushing yields every sample exactly once."""
+    f = TimeAlignedAggregator(bin_width=bin_width)
+    ctx = FilterContext(n_children=4)
+    emitted = []
+    for child, ts, value in samples:
+        pkt = Packet(1, 100, TIME_ALIGN_IN_FMT, (ts, np.array([value])), src=child)
+        emitted.extend(f.execute([pkt], ctx))
+    emitted.extend(f.flush(ctx))
+    total = sum(p.values[1][0] for p in emitted)
+    count = sum(p.values[2] for p in emitted)
+    assert count == len(samples)
+    assert total == pytest.approx(sum(v for _c, _t, v in samples), abs=1e-9)
+    # Bin starts are multiples of the bin width and strictly increasing
+    # per emission batch boundaries.
+    for p in emitted:
+        assert p.values[0] / bin_width == pytest.approx(
+            round(p.values[0] / bin_width)
+        )
+
+
+# -- clock skew composes exactly along paths -------------------------------------
+
+@settings(max_examples=40, deadline=None)
+@given(random_tree(), st.integers(min_value=0, max_value=2**16))
+def test_property_skew_composition_exact_without_jitter(topo, seed):
+    rng = np.random.default_rng(seed)
+    true = {r: float(rng.uniform(-0.05, 0.05)) for r in topo.ranks}
+    true[0] = 0.0
+    clocks = {r: SkewClock(offset=true[r]) for r in topo.ranks}
+    offsets, _t = tree_skew_detection(topo, clocks, jitter=1e-12, seed=seed)
+    for r in topo.ranks:
+        assert offsets[r] == pytest.approx(true[r], abs=1e-6)
+
+
+# -- the simulator is deterministic and conserves contributions ------------------
+
+@settings(max_examples=30, deadline=None)
+@given(random_tree())
+def test_property_sim_counts_all_leaves_once(topo):
+    leaf = lambda rank: (0.001, WaveMessage(nbytes=64.0, meta={rank}))
+    merge = lambda rank, msgs: (
+        0.0005,
+        WaveMessage(nbytes=64.0, meta=set().union(*(m.meta for m in msgs))),
+    )
+    rep = SimTBON(topo, SimCosts(), leaf, merge).run()
+    assert rep.root_result.meta == set(topo.backends)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(min_value=4, max_value=200),
+    st.integers(min_value=2, max_value=16),
+)
+def test_property_sim_deterministic(n, fanout):
+    topo = deep_topology(n, fanout)
+    leaf = lambda rank: (0.01, WaveMessage(nbytes=128.0, meta=1))
+    merge = lambda rank, msgs: (
+        0.002 * len(msgs),
+        WaveMessage(nbytes=128.0, meta=sum(m.meta for m in msgs)),
+    )
+    a = SimTBON(topo, SimCosts(), leaf, merge).run()
+    b = SimTBON(topo, SimCosts(), leaf, merge).run()
+    assert a.completion_time == b.completion_time
+    assert a.node_busy == b.node_busy
+    assert a.root_result.meta == n

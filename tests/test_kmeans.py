@@ -1,0 +1,95 @@
+"""Tests for single-node and TBON-distributed k-means."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Network, Topology, balanced_topology
+from repro.core.errors import TBONError
+from repro.cluster.datagen import ClusterSpec, leaf_dataset
+from repro.cluster.kmeans import assign, distributed_kmeans, kmeans
+
+SPEC = ClusterSpec(points_per_cluster=100)
+
+
+def leaf_points_for(topo, seed=9):
+    return {
+        r: leaf_dataset(i, SPEC, seed) for i, r in enumerate(topo.backends)
+    }
+
+
+class TestSingleNode:
+    def test_recovers_blob_centers(self):
+        pts = leaf_dataset(0, SPEC, 3)
+        res = kmeans(pts, 4, seed=1)
+        # Every true center has a centroid within 3 sigma.
+        for c in SPEC.centers:
+            assert np.linalg.norm(res.centroids - c, axis=1).min() < 3 * SPEC.std
+
+    def test_deterministic_with_seed(self):
+        pts = leaf_dataset(0, SPEC, 3)
+        a = kmeans(pts, 3, seed=7)
+        b = kmeans(pts, 3, seed=7)
+        assert np.array_equal(a.centroids, b.centroids)
+
+    def test_explicit_init(self):
+        pts = leaf_dataset(0, SPEC, 3)
+        init = pts[:2].copy()
+        res = kmeans(pts, 2, init=init)
+        assert res.iterations >= 1
+
+    def test_k_validation(self):
+        pts = np.zeros((5, 2))
+        with pytest.raises(TBONError):
+            kmeans(pts, 0)
+        with pytest.raises(TBONError):
+            kmeans(pts, 6)
+
+    def test_init_shape_validation(self):
+        with pytest.raises(TBONError):
+            kmeans(np.zeros((5, 2)), 2, init=np.zeros((3, 2)))
+
+    def test_assign(self):
+        cen = np.array([[0.0, 0.0], [10.0, 10.0]])
+        pts = np.array([[1.0, 1.0], [9.0, 9.0]])
+        assert assign(pts, cen).tolist() == [0, 1]
+
+    def test_inertia_nonnegative_and_decreases_with_k(self):
+        pts = leaf_dataset(0, SPEC, 3)
+        r2 = kmeans(pts, 2, seed=5)
+        r8 = kmeans(pts, 8, seed=5)
+        assert 0 <= r8.inertia <= r2.inertia
+
+
+class TestDistributed:
+    @pytest.mark.parametrize(
+        "topo_factory",
+        [
+            lambda: balanced_topology(2, 2),
+            lambda: Topology({0: [1, 2], 1: [3, 4], 2: [5], 4: [6, 7]}),
+        ],
+    )
+    def test_matches_single_node_exactly(self, topo_factory):
+        """Sum-filter reduction makes distributed Lloyd == serial Lloyd."""
+        topo = topo_factory()
+        lp = leaf_points_for(topo)
+        all_pts = np.concatenate([lp[r] for r in topo.backends])
+        rng = np.random.default_rng(0)
+        init = all_pts[rng.choice(len(all_pts), 4, replace=False)]
+
+        single = kmeans(all_pts, 4, init=init)
+        with Network(topo) as net:
+            dist = distributed_kmeans(net, lp, 4, init)
+            assert net.node_errors() == {}
+        assert np.allclose(single.centroids, dist.centroids)
+        assert dist.iterations == single.iterations
+        assert dist.inertia == pytest.approx(single.inertia)
+
+    def test_missing_leaf_data_rejected(self):
+        topo = balanced_topology(2, 2)
+        lp = leaf_points_for(topo)
+        lp.pop(topo.backends[0])
+        with Network(topo) as net:
+            with pytest.raises(TBONError, match="missing back-end"):
+                distributed_kmeans(net, lp, 2, np.zeros((2, 2)))

@@ -1,0 +1,299 @@
+"""End-to-end network tests over the thread transport."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    FIRST_APPLICATION_TAG,
+    FilterError,
+    Network,
+    NetworkShutdownError,
+    StreamClosedError,
+    StreamError,
+    Topology,
+    balanced_topology,
+    flat_topology,
+)
+from repro.core.filters import TransformationFilter
+from conftest import send_from_all
+
+TAG = FIRST_APPLICATION_TAG
+
+
+class TestBasicReduction:
+    @pytest.mark.parametrize(
+        "topo_factory",
+        [
+            lambda: flat_topology(5),
+            lambda: balanced_topology(2, 2),
+            lambda: balanced_topology(3, 2),
+            lambda: balanced_topology(2, 3),
+            lambda: Topology({0: [1, 2], 1: [3, 4], 2: [5], 4: [6, 7]}),
+        ],
+    )
+    def test_sum_across_shapes(self, topo_factory):
+        topo = topo_factory()
+        with Network(topo) as net:
+            s = net.new_stream(transform="sum", sync="wait_for_all")
+            send_from_all(net, s, TAG, "%d", lambda r: r)
+            assert s.recv(timeout=10).values[0] == sum(topo.backends)
+            assert net.node_errors() == {}
+
+    def test_multiple_waves_aligned(self, net):
+        s = net.new_stream(transform="sum", sync="wait_for_all")
+
+        def leaf(be):
+            be.wait_for_stream(s.stream_id)
+            for wave in range(3):
+                be.send(s.stream_id, TAG, "%d", wave * 100 + 1)
+
+        net.run_backends(leaf)
+        n = net.topology.n_backends
+        totals = [s.recv(timeout=10).values[0] for _ in range(3)]
+        assert totals == [n, 100 * n + n, 200 * n + n]
+
+    def test_passthrough_delivers_one_per_backend(self, net):
+        s = net.new_stream(transform="passthrough", sync="null")
+        send_from_all(net, s, TAG, "%d", lambda r: r)
+        got = sorted(s.recv(timeout=10).values[0] for _ in net.topology.backends)
+        assert got == sorted(net.topology.backends)
+
+    def test_concat_gathers_everything(self, net):
+        s = net.new_stream(transform="concat", sync="wait_for_all")
+        send_from_all(net, s, TAG, "%af", lambda r: np.array([float(r)]))
+        out = s.recv(timeout=10).values[0]
+        assert sorted(out.tolist()) == sorted(float(r) for r in net.topology.backends)
+
+
+class TestStreamFeatures:
+    def test_subset_membership(self, net):
+        members = net.topology.backends[::2]
+        s = net.new_stream(members, transform="sum", sync="wait_for_all")
+
+        def leaf(be):
+            be.wait_for_stream(s.stream_id)
+            be.send(s.stream_id, TAG, "%d", 1)
+
+        net.run_backends(leaf, ranks=members)
+        assert s.recv(timeout=10).values[0] == len(members)
+
+    def test_non_member_send_rejected(self, net):
+        members = net.topology.backends[:2]
+        s = net.new_stream(members, transform="sum", sync="wait_for_all")
+        outsider = net.backend(net.topology.backends[-1])
+        # The stream was never announced to the outsider.
+        with pytest.raises(StreamError):
+            outsider.send(s.stream_id, TAG, "%d", 1)
+
+    def test_invalid_members_rejected(self, net):
+        with pytest.raises(StreamError):
+            net.new_stream([0], transform="sum")  # front-end is not a member
+        with pytest.raises(StreamError):
+            net.new_stream([net.topology.internals[0]], transform="sum")
+
+    def test_concurrent_overlapping_streams(self, net):
+        """Two streams, same members, different filters, in flight at once."""
+        s_min = net.new_stream(transform="min", sync="wait_for_all")
+        s_max = net.new_stream(transform="max", sync="wait_for_all")
+
+        def leaf(be):
+            be.wait_for_stream(s_min.stream_id)
+            be.wait_for_stream(s_max.stream_id)
+            be.send(s_min.stream_id, TAG, "%d", be.rank)
+            be.send(s_max.stream_id, TAG, "%d", be.rank)
+
+        net.run_backends(leaf)
+        assert s_min.recv(timeout=10).values[0] == min(net.topology.backends)
+        assert s_max.recv(timeout=10).values[0] == max(net.topology.backends)
+
+    def test_downstream_multicast(self, net):
+        s = net.new_stream(transform="sum", sync="wait_for_all")
+        seen = {}
+
+        def leaf(be):
+            be.wait_for_stream(s.stream_id)
+            pkt = be.recv(timeout=10, stream_id=s.stream_id)
+            seen[be.rank] = pkt.values
+
+        import threading
+
+        threads = net.run_backends(leaf, join=False)
+        s.send(TAG, "%d %s", 42, "go")
+        for t in threads:
+            t.join(10)
+        assert set(seen) == set(net.topology.backends)
+        assert all(v == (42, "go") for v in seen.values())
+
+    def test_filter_params_reach_nodes(self, net):
+        s = net.new_stream(
+            transform="equivalence",
+            sync="wait_for_all",
+            transform_params={"max_members_per_class": 2},
+        )
+        from repro.filters_ext.equivalence import EQUIVALENCE_FMT, EquivalenceClasses
+
+        send_from_all(
+            net, s, TAG, EQUIVALENCE_FMT, lambda r: (["k"], [1], [f"h{r}"])
+        )
+        pkt = s.recv(timeout=10)
+        ec = EquivalenceClasses.from_payload(*pkt.values)
+        assert ec.counts == {"k": net.topology.n_backends}
+        # Member list capped at 2 per class.
+        assert len(ec.members["k"]) <= 2
+
+
+class TestClose:
+    def test_close_handshake(self, net):
+        s = net.new_stream(transform="sum", sync="wait_for_all")
+        send_from_all(net, s, TAG, "%d", lambda r: 1)
+        assert s.recv(timeout=10).values[0] == net.topology.n_backends
+        s.close(timeout=10)
+        assert s.is_closed
+        with pytest.raises(StreamClosedError):
+            s.send(TAG, "%d", 1)
+        with pytest.raises(StreamClosedError):
+            s.recv(timeout=1)
+
+    def test_close_flushes_partial_waves(self, net):
+        """Data sent by a strict subset still reaches the front-end on close."""
+        s = net.new_stream(transform="sum", sync="wait_for_all")
+        half = net.topology.backends[:4]
+
+        def leaf(be):
+            be.wait_for_stream(s.stream_id)
+            be.send(s.stream_id, TAG, "%d", 1)
+
+        net.run_backends(leaf, ranks=half)
+        s.close_async()
+        packets = s.drain(timeout=10)
+        assert sum(p.values[0] for p in packets) == len(half)
+
+    def test_backend_send_after_close_rejected(self, net):
+        s = net.new_stream(transform="sum", sync="wait_for_all")
+        be = net.backends[0]
+        be.wait_for_stream(s.stream_id)
+        s.close(timeout=10)
+        with pytest.raises(StreamClosedError):
+            be.send(s.stream_id, TAG, "%d", 1)
+
+    def test_double_close_is_idempotent(self, net):
+        s = net.new_stream(transform="sum")
+        s.close(timeout=10)
+        s.close(timeout=10)
+
+
+class _ExplodingFilter(TransformationFilter):
+    def transform(self, packets, ctx):
+        raise RuntimeError("kaboom")
+
+
+class TestErrorPropagation:
+    def test_filter_error_reaches_frontend(self, deep2_topology):
+        net = Network(deep2_topology)
+        try:
+            net.registry.add_transform("exploding", _ExplodingFilter, replace=True)
+            s = net.new_stream(transform="exploding", sync="null")
+
+            def leaf(be):
+                be.wait_for_stream(s.stream_id)
+                be.send(s.stream_id, TAG, "%d", 1)
+
+            net.run_backends(leaf, ranks=deep2_topology.backends[:1])
+            with pytest.raises(FilterError, match="kaboom"):
+                s.recv(timeout=10)
+            assert net.frontend.errors
+        finally:
+            net.shutdown()
+
+    def test_unknown_filter_fails_fast(self, net):
+        from repro import FilterLoadError
+
+        with pytest.raises(FilterLoadError):
+            net.new_stream(transform="definitely_missing")
+        with pytest.raises(FilterLoadError):
+            net.new_stream(transform="sum", sync="definitely_missing")
+
+
+class TestDynamicFilterLoad:
+    def test_load_filter_by_module_path(self, net):
+        net.load_filter("repro.filters_ext.histogram:HistogramFilter")
+        name = "repro.filters_ext.histogram:HistogramFilter"
+        s = net.new_stream(transform=name, sync="wait_for_all")
+        from repro.filters_ext.histogram import histogram_counts
+
+        edges = np.linspace(0, 100, 11)
+        send_from_all(
+            net,
+            s,
+            TAG,
+            "%ad",
+            lambda r: histogram_counts(np.array([float(r)]), edges),
+        )
+        out = s.recv(timeout=10).values[0]
+        assert out.sum() == net.topology.n_backends
+
+    def test_load_bad_kind_rejected(self, net):
+        with pytest.raises(StreamError):
+            net.load_filter("sum", kind="wat")
+
+
+class TestShutdown:
+    def test_operations_after_shutdown_rejected(self, deep2_topology):
+        net = Network(deep2_topology)
+        net.shutdown()
+        with pytest.raises(NetworkShutdownError):
+            net.new_stream(transform="sum")
+
+    def test_shutdown_idempotent(self, deep2_topology):
+        net = Network(deep2_topology)
+        net.shutdown()
+        net.shutdown()
+
+    def test_backend_recv_unblocks_on_shutdown(self, deep2_topology):
+        import threading
+
+        net = Network(deep2_topology)
+        be = net.backends[0]
+        results = []
+
+        def blocked():
+            try:
+                be.recv(timeout=30)
+            except NetworkShutdownError:
+                results.append("unblocked")
+
+        t = threading.Thread(target=blocked)
+        t.start()
+        net.shutdown()
+        t.join(5)
+        assert results == ["unblocked"]
+
+
+class TestBidirectionalExtension:
+    def test_down_transform_applies(self, net):
+        """The paper's future-work bidirectional filter: transform
+        downstream packets at every node."""
+
+        class Doubler(TransformationFilter):
+            def transform(self, packets, ctx):
+                p = packets[0]
+                return p.with_values([p.values[0] * 2])
+
+        net.registry.add_transform("doubler", Doubler, replace=True)
+        s = net.new_stream(
+            transform="passthrough", sync="null", down_transform="doubler"
+        )
+        seen = {}
+
+        def leaf(be):
+            be.wait_for_stream(s.stream_id)
+            seen[be.rank] = be.recv(timeout=10, stream_id=s.stream_id).values[0]
+
+        threads = net.run_backends(leaf, join=False)
+        s.send(TAG, "%d", 3)
+        for t in threads:
+            t.join(10)
+        # Depth-2 tree: doubled at the root and once per internal = 3*2*2.
+        assert set(seen.values()) == {12}

@@ -1,0 +1,94 @@
+"""Tests for tree-routed back-end-to-back-end messaging (Section 2.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Network, Topology, balanced_topology, flat_topology
+
+
+@pytest.fixture
+def net():
+    network = Network(balanced_topology(3, 2))
+    yield network
+    network.shutdown()
+    assert network.node_errors() == {}
+
+
+class TestP2PRouting:
+    def test_cross_subtree_delivery(self, net):
+        """Message climbs to the root and descends the other side."""
+        backends = net.topology.backends
+        a, b = backends[0], backends[-1]
+        assert net.topology.parent(a) != net.topology.parent(b)
+        net.backend(a).send_p2p(b, 200, "%s", "ping")
+        pkt = net.backend(b).recv_p2p(timeout=5)
+        assert pkt.src == a
+        assert pkt.tag == 200
+        assert pkt.values == ("ping",)
+
+    def test_same_subtree_short_path(self, net):
+        """Siblings route through their shared parent, not the root."""
+        backends = net.topology.backends
+        a, b = backends[0], backends[1]
+        assert net.topology.parent(a) == net.topology.parent(b)
+        net.backend(a).send_p2p(b, 201, "%d", 42)
+        assert net.backend(b).recv_p2p(timeout=5).values == (42,)
+        # The root never saw the message (no jobs on its p2p path):
+        # stream stats count data packets only, but node errors would
+        # flag a misroute; absence is checked by the fixture teardown.
+
+    def test_request_reply(self, net):
+        backends = net.topology.backends
+        a, b = backends[0], backends[4]
+        net.backend(a).send_p2p(b, 210, "%af", np.array([3.0]))
+        req = net.backend(b).recv_p2p(timeout=5)
+        net.backend(b).send_p2p(req.src, 211, "%af", req.values[0] * 2)
+        rep = net.backend(a).recv_p2p(timeout=5)
+        assert rep.values[0][0] == 6.0
+
+    def test_p2p_and_streams_coexist(self, net):
+        from repro import FIRST_APPLICATION_TAG
+
+        s = net.new_stream(transform="sum", sync="wait_for_all")
+        backends = net.topology.backends
+
+        def leaf(be):
+            be.wait_for_stream(s.stream_id)
+            be.send(s.stream_id, FIRST_APPLICATION_TAG, "%d", 1)
+
+        net.run_backends(leaf)
+        net.backend(backends[0]).send_p2p(backends[-1], 220, "%s", "side-channel")
+        assert s.recv(timeout=10).values[0] == 9
+        assert net.backend(backends[-1]).recv_p2p(timeout=5).values == (
+            "side-channel",
+        )
+
+    def test_flat_tree_p2p(self):
+        with Network(flat_topology(4)) as net:
+            a, b = net.topology.backends[0], net.topology.backends[-1]
+            net.backend(a).send_p2p(b, 230, "%d", 7)
+            assert net.backend(b).recv_p2p(timeout=5).values == (7,)
+            assert net.node_errors() == {}
+
+    def test_unknown_destination_reports_error(self):
+        import time
+
+        # Own network: the misroute legitimately records a node error.
+        local = Network(balanced_topology(3, 2))
+        try:
+            local.backend(local.topology.backends[0]).send_p2p(9999, 240, "%d", 1)
+            deadline = time.time() + 5
+            while not local.frontend.errors and time.time() < deadline:
+                time.sleep(0.05)
+            assert local.frontend.errors  # misroute surfaced at the front-end
+        finally:
+            local.shutdown()
+
+    def test_fifo_between_same_pair(self, net):
+        a, b = net.topology.backends[0], net.topology.backends[-1]
+        for i in range(10):
+            net.backend(a).send_p2p(b, 250, "%d", i)
+        got = [net.backend(b).recv_p2p(timeout=5).values[0] for i in range(10)]
+        assert got == list(range(10))

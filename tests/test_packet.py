@@ -1,0 +1,108 @@
+"""Unit tests for packets and counted payload references."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import SerializationError
+from repro.core.packet import (
+    GLOBAL_PACKET_STATS,
+    Packet,
+    PayloadRef,
+    make_packet,
+    total_nbytes,
+)
+
+
+class TestPacket:
+    def test_values_accessible(self):
+        p = make_packet(1, 100, "%d %s", 42, "hi")
+        assert p.values == (42, "hi")
+        assert p[0] == 42
+        assert len(p) == 2
+        assert p.unpack() == (42, "hi")
+
+    def test_validation_at_construction(self):
+        with pytest.raises(SerializationError):
+            make_packet(1, 100, "%d", "not-an-int")
+
+    def test_wire_roundtrip(self):
+        p = Packet(3, 105, "%d %af %s", (7, np.array([1.0, 2.0]), "x"), src=9)
+        q = Packet.from_bytes(p.to_bytes())
+        assert q.stream_id == 3
+        assert q.tag == 105
+        assert q.src == 9
+        assert q.fmt == "%d %af %s"
+        assert q.values[0] == 7
+        assert np.array_equal(q.values[1], [1.0, 2.0])
+        assert q.values[2] == "x"
+
+    def test_with_values_same_stream_tag(self):
+        p = make_packet(2, 101, "%d", 1)
+        q = p.with_values([5])
+        assert (q.stream_id, q.tag, q.fmt) == (2, 101, "%d")
+        assert q.values == (5,)
+
+    def test_with_values_new_format(self):
+        p = make_packet(2, 101, "%d", 1)
+        q = p.with_values([1.5], fmt="%f")
+        assert q.fmt == "%f"
+
+    def test_hop_counts(self):
+        p = make_packet(1, 100, "%d", 1)
+        assert p.hops == 0
+        p.hop()
+        assert p.hops == 1
+
+    def test_nbytes(self):
+        p = make_packet(1, 100, "%ad", np.arange(10, dtype=np.int64))
+        assert p.nbytes() == 4 + 80
+        assert total_nbytes([p, p]) == 2 * (4 + 80)
+
+    def test_seq_monotonic(self):
+        a = make_packet(1, 100, "%d", 1)
+        b = make_packet(1, 100, "%d", 1)
+        assert b.seq > a.seq
+
+
+class TestPayloadRef:
+    def test_serialize_once(self):
+        GLOBAL_PACKET_STATS.reset()
+        p = make_packet(1, 100, "%af", np.arange(100, dtype=np.float64))
+        ref = p.payload_ref()
+        buf1 = ref.serialize()
+        buf2 = ref.serialize()
+        assert buf1 is buf2
+        assert GLOBAL_PACKET_STATS.serializations == 1
+
+    def test_multicast_shares_one_buffer(self):
+        """A k-way multicast must serialize exactly once (zero-copy)."""
+        GLOBAL_PACKET_STATS.reset()
+        p = make_packet(1, 100, "%af", np.arange(64, dtype=np.float64))
+        ref = p.payload_ref()
+        k = 8
+        ref.incref(k - 1)
+        assert ref.refcount == k
+        for _ in range(k):
+            ref.serialize()
+            ref.decref()
+        assert GLOBAL_PACKET_STATS.serializations == 1
+        assert GLOBAL_PACKET_STATS.max_refcount == k
+        assert ref.refcount == 0
+
+    def test_refcount_underflow_rejected(self):
+        ref = PayloadRef("%d", (1,))
+        ref.decref()
+        with pytest.raises(SerializationError):
+            ref.decref()
+
+    def test_buffer_dropped_at_zero(self):
+        ref = PayloadRef("%d", (1,))
+        ref.serialize()
+        ref.decref()
+        assert ref._buffer is None
+
+    def test_payload_ref_cached_on_packet(self):
+        p = make_packet(1, 100, "%d", 1)
+        assert p.payload_ref() is p.payload_ref()

@@ -1,0 +1,90 @@
+"""Property-based tests against the live middleware.
+
+Heavier than pure-function property tests (each example spins up a real
+threaded network), so example counts stay small; the properties cover
+the composition the unit tests cannot: random tree shapes x random
+payloads through the full stack.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import FIRST_APPLICATION_TAG, Network, Topology
+
+TAG = FIRST_APPLICATION_TAG
+
+_live = settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@st.composite
+def small_tree(draw):
+    n = draw(st.integers(min_value=3, max_value=14))
+    parents = [draw(st.integers(min_value=0, max_value=i - 1)) for i in range(1, n)]
+    children: dict[int, list[int]] = {i: [] for i in range(n)}
+    for child, parent in enumerate(parents, start=1):
+        children[parent].append(child)
+    topo = Topology(children)
+    # A network needs at least one back-end that is not the root.
+    return topo
+
+
+@_live
+@given(small_tree(), st.lists(st.integers(-1000, 1000), min_size=1, max_size=1))
+def test_property_live_sum_matches_expected(topo, salt):
+    """Sum over any random tree equals the arithmetic sum."""
+    offset = salt[0]
+    with Network(topo) as net:
+        s = net.new_stream(transform="sum", sync="wait_for_all")
+
+        def leaf(be):
+            be.wait_for_stream(s.stream_id)
+            be.send(s.stream_id, TAG, "%d", be.rank + offset)
+
+        net.run_backends(leaf)
+        total = s.recv(timeout=15).values[0]
+        assert total == sum(r + offset for r in topo.backends)
+        assert net.node_errors() == {}
+
+
+@_live
+@given(small_tree())
+def test_property_live_concat_gathers_exactly_once(topo):
+    """Every back-end's contribution appears exactly once at the root."""
+    with Network(topo) as net:
+        s = net.new_stream(transform="concat", sync="wait_for_all")
+
+        def leaf(be):
+            be.wait_for_stream(s.stream_id)
+            be.send(s.stream_id, TAG, "%d", be.rank)
+
+        net.run_backends(leaf)
+        got = sorted(np.atleast_1d(s.recv(timeout=15).values[0]).tolist())
+        assert got == sorted(topo.backends)
+        assert net.node_errors() == {}
+
+
+@_live
+@given(small_tree(), st.integers(min_value=1, max_value=4))
+def test_property_live_avg_exact_on_any_tree(topo, waves):
+    """The carried-count avg equals numpy.mean on every shape, per wave."""
+    with Network(topo) as net:
+        s = net.new_stream(transform="avg", sync="wait_for_all")
+
+        def leaf(be):
+            be.wait_for_stream(s.stream_id)
+            for w in range(waves):
+                be.send(s.stream_id, TAG, "%f", float(be.rank * (w + 1)))
+
+        net.run_backends(leaf)
+        for w in range(waves):
+            got = s.recv(timeout=15).values[0]
+            expected = float(np.mean([r * (w + 1) for r in topo.backends]))
+            assert got == np.float64(expected) or abs(got - expected) < 1e-9
+        assert net.node_errors() == {}

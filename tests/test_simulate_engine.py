@@ -1,0 +1,128 @@
+"""Unit tests for the discrete-event engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import SimulationError
+from repro.simulate.engine import Server, Simulator
+
+
+class TestSimulator:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(3.0, lambda: log.append("c"))
+        sim.schedule(1.0, lambda: log.append("a"))
+        sim.schedule(2.0, lambda: log.append("b"))
+        assert sim.run() == 3.0
+        assert log == ["a", "b", "c"]
+
+    def test_ties_fire_in_schedule_order(self):
+        sim = Simulator()
+        log = []
+        for i in range(5):
+            sim.schedule(1.0, lambda i=i: log.append(i))
+        sim.run()
+        assert log == [0, 1, 2, 3, 4]
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        log = []
+
+        def first():
+            log.append(("first", sim.now))
+            sim.schedule(2.0, lambda: log.append(("second", sim.now)))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert log == [("first", 1.0), ("second", 3.0)]
+
+    def test_run_until(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, lambda: log.append(1))
+        sim.schedule(5.0, lambda: log.append(5))
+        sim.run(until=2.0)
+        assert log == [1]
+        sim.run()
+        assert log == [1, 5]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_schedule_in_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: sim.schedule_at(1.0, lambda: None))
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_runaway_guard(self):
+        sim = Simulator()
+
+        def loop():
+            sim.schedule(0.1, loop)
+
+        sim.schedule(0.0, loop)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=100)
+
+    def test_determinism(self):
+        def build():
+            sim = Simulator()
+            log = []
+            for i in range(50):
+                sim.schedule((i * 7919) % 13 * 0.1, lambda i=i: log.append(i))
+            sim.run()
+            return log
+
+        assert build() == build()
+
+
+class TestServer:
+    def test_serial_service(self):
+        sim = Simulator()
+        srv = Server(sim)
+        finishes = []
+        sim.schedule(0.0, lambda: finishes.append(srv.submit(2.0)))
+        sim.schedule(0.0, lambda: finishes.append(srv.submit(3.0)))
+        sim.run()
+        assert finishes == [2.0, 5.0]  # second job queues behind the first
+
+    def test_idle_gap(self):
+        sim = Simulator()
+        srv = Server(sim)
+        sim.schedule(0.0, lambda: srv.submit(1.0))
+        sim.schedule(10.0, lambda: srv.submit(1.0))
+        sim.run()
+        assert srv.free_at == 11.0
+        assert srv.busy_time == 2.0
+        assert srv.utilization(11.0) == pytest.approx(2.0 / 11.0)
+
+    def test_completion_callback_time(self):
+        sim = Simulator()
+        srv = Server(sim)
+        times = []
+        sim.schedule(1.0, lambda: srv.submit(2.5, lambda: times.append(sim.now)))
+        sim.run()
+        assert times == [3.5]
+
+    def test_backlog_tracking(self):
+        sim = Simulator()
+        srv = Server(sim)
+
+        def burst():
+            for _ in range(4):
+                srv.submit(1.0)
+
+        sim.schedule(0.0, burst)
+        sim.run()
+        assert srv.max_backlog == 3.0
+        assert srv.jobs == 4
+
+    def test_negative_duration_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            Server(sim).submit(-1.0)

@@ -1,0 +1,136 @@
+"""Unit tests for the front-end Stream API edge cases."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    FIRST_APPLICATION_TAG,
+    Network,
+    StreamClosedError,
+    balanced_topology,
+)
+from conftest import send_from_all
+
+TAG = FIRST_APPLICATION_TAG
+
+
+@pytest.fixture
+def net():
+    network = Network(balanced_topology(2, 2))
+    yield network
+    network.shutdown()
+    assert network.node_errors() == {}
+
+
+class TestRecvVariants:
+    def test_recv_nowait_empty(self, net):
+        s = net.new_stream(transform="sum")
+        assert s.recv_nowait() is None
+
+    def test_recv_nowait_after_wave(self, net):
+        s = net.new_stream(transform="sum", sync="wait_for_all")
+        send_from_all(net, s, TAG, "%d", lambda r: 1)
+        # Poll until the aggregate lands.
+        import time
+
+        deadline = time.time() + 5
+        pkt = None
+        while pkt is None and time.time() < deadline:
+            pkt = s.recv_nowait()
+            time.sleep(0.01)
+        assert pkt is not None and pkt.values[0] == 4
+
+    def test_recv_timeout_raises(self, net):
+        s = net.new_stream(transform="sum")
+        with pytest.raises(TimeoutError):
+            s.recv(timeout=0.2)
+
+    def test_drain_collects_all_remaining(self, net):
+        s = net.new_stream(transform="passthrough", sync="null")
+        send_from_all(net, s, TAG, "%d", lambda r: r)
+        s.close_async()
+        packets = s.drain(timeout=10)
+        assert sorted(p.values[0] for p in packets) == sorted(net.topology.backends)
+
+    def test_context_manager_closes(self, net):
+        with net.new_stream(transform="sum") as s:
+            pass
+        assert s.is_closed
+
+
+class TestFrontEndDispatch:
+    def test_packets_route_to_owning_stream(self, net):
+        s1 = net.new_stream(transform="sum", sync="wait_for_all")
+        s2 = net.new_stream(transform="max", sync="wait_for_all")
+
+        def leaf(be):
+            be.wait_for_stream(s1.stream_id)
+            be.wait_for_stream(s2.stream_id)
+            be.send(s2.stream_id, TAG, "%d", be.rank)
+            be.send(s1.stream_id, TAG, "%d", 1)
+
+        net.run_backends(leaf)
+        assert s1.recv(timeout=10).values[0] == 4
+        assert s2.recv(timeout=10).values[0] == max(net.topology.backends)
+
+    def test_unregistered_stream_packets_dropped(self, net):
+        """Late packets for a closed (unregistered) stream are ignored."""
+        s = net.new_stream(transform="sum", sync="wait_for_all")
+        s.close(timeout=10)
+        net.frontend.unregister(s.stream_id)
+        # Dispatch a stray data packet manually: must not raise.
+        from repro.core.events import Direction, Envelope
+        from repro.core.packet import Packet
+
+        net.frontend.dispatch(
+            Envelope(0, Direction.UPSTREAM, Packet(s.stream_id, TAG, "%d", (1,)))
+        )
+
+    def test_send_on_closed_stream_rejected(self, net):
+        s = net.new_stream(transform="sum")
+        s.close(timeout=10)
+        with pytest.raises(StreamClosedError):
+            s.send(TAG, "%d", 1)
+
+    def test_open_streams_listing(self, net):
+        s1 = net.new_stream(transform="sum")
+        s2 = net.new_stream(transform="sum")
+        assert {x.stream_id for x in net.frontend.open_streams()} >= {
+            s1.stream_id,
+            s2.stream_id,
+        }
+        s1.close(timeout=10)
+        assert s1.stream_id not in {
+            x.stream_id for x in net.frontend.open_streams()
+        }
+
+
+class TestStreamIter:
+    def test_iter_yields_until_close(self, net):
+        s = net.new_stream(transform="sum", sync="wait_for_all")
+
+        def leaf(be):
+            be.wait_for_stream(s.stream_id)
+            for w in range(3):
+                be.send(s.stream_id, TAG, "%d", w)
+
+        net.run_backends(leaf)
+        import threading
+
+        got = []
+
+        def consume():
+            for pkt in s.iter(timeout=10):
+                got.append(pkt.values[0])
+
+        t = threading.Thread(target=consume)
+        t.start()
+        import time
+
+        deadline = time.time() + 5
+        while len(got) < 3 and time.time() < deadline:
+            time.sleep(0.02)
+        s.close(timeout=10)
+        t.join(10)
+        assert got[:3] == [0, 4, 8]

@@ -1,0 +1,150 @@
+"""Unit tests for MRNet's synchronization filters (with a fake clock)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import FilterError
+from repro.core.filters import FilterContext
+from repro.core.packet import Packet
+from repro.core.sync_filters import NullSync, TimeOut, WaitForAll
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+def mk_ctx(n_children, clock=None):
+    return FilterContext(
+        node_rank=1,
+        stream_id=1,
+        n_children=n_children,
+        now=clock or FakeClock(),
+    )
+
+
+def pkt(v, src=0):
+    return Packet(1, 100, "%d", (v,), src=src)
+
+
+class TestWaitForAll:
+    def test_holds_until_all_children(self):
+        f = WaitForAll()
+        c = mk_ctx(3)
+        assert f.push(pkt(1, 10), 10, c) == []
+        assert f.push(pkt(2, 11), 11, c) == []
+        batches = f.push(pkt(3, 12), 12, c)
+        assert len(batches) == 1
+        assert sorted(p.values[0] for p in batches[0]) == [1, 2, 3]
+
+    def test_wave_alignment(self):
+        """The i-th packets from each child form the i-th batch."""
+        f = WaitForAll()
+        c = mk_ctx(2)
+        # Child 10 races two waves ahead.
+        assert f.push(pkt(1, 10), 10, c) == []
+        assert f.push(pkt(2, 10), 10, c) == []
+        b1 = f.push(pkt(100, 11), 11, c)
+        assert [p.values[0] for p in b1[0]] == [1, 100]
+        b2 = f.push(pkt(200, 11), 11, c)
+        assert [p.values[0] for p in b2[0]] == [2, 200]
+
+    def test_release_of_multiple_complete_waves(self):
+        f = WaitForAll()
+        c = mk_ctx(2)
+        f.push(pkt(1), 10, c)
+        f.push(pkt(2), 10, c)
+        f.push(pkt(3), 11, c)  # completes wave 1 only
+        batches = f.push(pkt(4), 11, c)
+        assert len(batches) == 1
+
+    def test_flush_releases_partial_waves(self):
+        f = WaitForAll()
+        c = mk_ctx(3)
+        f.push(pkt(1), 10, c)
+        f.push(pkt(2), 10, c)
+        f.push(pkt(3), 11, c)
+        batches = f.flush(c)
+        assert [len(b) for b in batches] == [2, 1]
+        assert f.pending_count() == 0
+
+    def test_recheck_after_losing_child(self):
+        """Recovery shrinks the covering set; held waves must release."""
+        f = WaitForAll()
+        c = mk_ctx(3)
+        f.push(pkt(1), 10, c)
+        f.push(pkt(2), 11, c)
+        # Child 12 dies; covering is now (10, 11) and n_children 2.
+        c.n_children = 2
+        batches = f.recheck(c, (10, 11))
+        assert len(batches) == 1
+        assert sorted(p.values[0] for p in batches[0]) == [1, 2]
+
+    def test_no_deadline(self):
+        assert WaitForAll().next_deadline() is None
+
+
+class TestTimeOut:
+    def test_window_release_on_timer(self):
+        clock = FakeClock()
+        f = TimeOut(window=1.0)
+        c = mk_ctx(3, clock)
+        assert f.push(pkt(1), 10, c) == []
+        assert f.next_deadline() == pytest.approx(1.0)
+        clock.advance(0.5)
+        assert f.on_timer(clock(), c) == []  # window still open
+        clock.advance(0.6)
+        batches = f.on_timer(clock(), c)
+        assert len(batches) == 1 and len(batches[0]) == 1
+        assert f.next_deadline() is None
+
+    def test_early_release_when_all_children_report(self):
+        clock = FakeClock()
+        f = TimeOut(window=100.0)
+        c = mk_ctx(2, clock)
+        assert f.push(pkt(1), 10, c) == []
+        batches = f.push(pkt(2), 11, c)
+        assert len(batches) == 1 and len(batches[0]) == 2
+
+    def test_window_reopens_for_next_batch(self):
+        clock = FakeClock()
+        f = TimeOut(window=1.0)
+        c = mk_ctx(2, clock)
+        f.push(pkt(1), 10, c)
+        clock.advance(2.0)
+        assert len(f.on_timer(clock(), c)) == 1
+        # Next packet opens a new window anchored at the new now.
+        f.push(pkt(2), 10, c)
+        assert f.next_deadline() == pytest.approx(3.0)
+
+    def test_flush(self):
+        f = TimeOut(window=5.0)
+        c = mk_ctx(3)
+        f.push(pkt(1), 10, c)
+        assert len(f.flush(c)) == 1
+        assert f.pending_count() == 0
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(FilterError):
+            TimeOut(window=0.0)
+
+
+class TestNullSync:
+    def test_immediate_delivery(self):
+        f = NullSync()
+        c = mk_ctx(5)
+        batches = f.push(pkt(7), 10, c)
+        assert batches == [[batches[0][0]]]
+        assert batches[0][0].values == (7,)
+
+    def test_no_state(self):
+        f = NullSync()
+        assert f.pending_count() == 0
+        assert f.flush(mk_ctx(1)) == []

@@ -1,0 +1,124 @@
+"""Tests for the TAG-style declarative query layer."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import Network, balanced_topology
+from repro.core.errors import TBONError
+from repro.tools.tag import Query, TagService, parse_query
+
+
+class TestParser:
+    def test_full_query(self):
+        q = parse_query(
+            "SELECT avg(cpu), max(mem) FROM sensors WHERE cpu > 50 EPOCH 4"
+        )
+        assert q.aggregates == (("avg", "cpu"), ("max", "mem"))
+        assert q.table == "sensors"
+        assert q.predicate == ("cpu", ">", 50.0)
+        assert q.epochs == 4
+
+    def test_minimal_query(self):
+        q = parse_query("SELECT count(cpu) FROM nodes")
+        assert q.predicate is None
+        assert q.epochs == 1
+
+    def test_case_insensitive_keywords(self):
+        q = parse_query("select min(temp) from s where temp <= 30")
+        assert q.aggregates == (("min", "temp"),)
+        assert q.predicate == ("temp", "<=", 30.0)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "SELECT cpu FROM s",            # bare attribute, no aggregate
+            "SELECT median(cpu) FROM s",    # unknown aggregate
+            "avg(cpu) FROM s",              # missing SELECT
+            "SELECT avg(cpu)",              # missing FROM
+            "SELECT avg(cpu) FROM s EPOCH 0",
+        ],
+    )
+    def test_rejects_bad_syntax(self, bad):
+        with pytest.raises(TBONError):
+            parse_query(bad)
+
+    def test_predicate_ops(self):
+        for op, expected in [("<", True), (">", False), ("=", False), ("!=", True)]:
+            q = parse_query(f"SELECT sum(x) FROM t WHERE x {op} 10")
+            assert q.matches({"x": 5.0}) is expected
+
+    def test_predicate_missing_attr(self):
+        q = parse_query("SELECT sum(x) FROM t WHERE y < 1")
+        with pytest.raises(TBONError):
+            q.matches({"x": 1.0})
+
+
+@pytest.fixture
+def net():
+    network = Network(balanced_topology(3, 2))
+    yield network
+    network.shutdown()
+    assert network.node_errors() == {}
+
+
+def ground_truth(net, epoch, pred=None):
+    rows = [TagService._default_sampler(r, epoch) for r in net.topology.backends]
+    if pred:
+        rows = [r for r in rows if pred(r)]
+    return rows
+
+
+class TestExecution:
+    def test_unfiltered_aggregates(self, net):
+        svc = TagService(net)
+        (res,) = svc.execute("SELECT min(cpu), max(cpu), avg(cpu), sum(cpu), count(cpu) FROM s")
+        rows = ground_truth(net, 0)
+        cpus = [r["cpu"] for r in rows]
+        assert res.n_rows == 9
+        assert res.values["min(cpu)"] == pytest.approx(min(cpus))
+        assert res.values["max(cpu)"] == pytest.approx(max(cpus))
+        assert res.values["avg(cpu)"] == pytest.approx(np.mean(cpus))
+        assert res.values["sum(cpu)"] == pytest.approx(sum(cpus))
+        assert res.values["count(cpu)"] == 9
+
+    def test_where_clause_filters_in_network(self, net):
+        svc = TagService(net)
+        (res,) = svc.execute("SELECT avg(mem), count(mem) FROM s WHERE cpu > 50")
+        rows = ground_truth(net, 0, lambda r: r["cpu"] > 50)
+        assert res.n_rows == len(rows)
+        assert res.values["avg(mem)"] == pytest.approx(
+            np.mean([r["mem"] for r in rows])
+        )
+
+    def test_epochs_stream_results(self, net):
+        svc = TagService(net)
+        results = svc.execute("SELECT max(temp) FROM s EPOCH 3")
+        assert [r.epoch for r in results] == [0, 1, 2]
+        for res in results:
+            rows = ground_truth(net, res.epoch)
+            assert res.values["max(temp)"] == pytest.approx(
+                max(r["temp"] for r in rows)
+            )
+
+    def test_empty_selection_yields_nan(self, net):
+        svc = TagService(net)
+        (res,) = svc.execute("SELECT min(cpu), avg(cpu) FROM s WHERE cpu > 1000")
+        assert res.n_rows == 0
+        assert math.isnan(res.values["min(cpu)"])
+        assert math.isnan(res.values["avg(cpu)"])
+
+    def test_custom_sampler(self, net):
+        svc = TagService(net, sampler=lambda rank, epoch: {"v": float(rank)})
+        (res,) = svc.execute("SELECT sum(v), max(v) FROM s")
+        assert res.values["sum(v)"] == sum(net.topology.backends)
+        assert res.values["max(v)"] == max(net.topology.backends)
+
+    def test_consecutive_queries(self, net):
+        svc = TagService(net)
+        (a,) = svc.execute("SELECT count(cpu) FROM s")
+        (b,) = svc.execute("SELECT count(mem) FROM s WHERE mem > 0")
+        assert a.n_rows == b.n_rows == 9

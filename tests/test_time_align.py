@@ -1,0 +1,127 @@
+"""Tests for time-aligned aggregation (stateful filter)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import FIRST_APPLICATION_TAG, Network, balanced_topology
+from repro.core.errors import FilterError
+from repro.core.filters import FilterContext
+from repro.core.packet import Packet
+from repro.filters_ext.time_align import (
+    TIME_ALIGN_IN_FMT,
+    TIME_ALIGN_OUT_FMT,
+    TimeAlignedAggregator,
+)
+
+TAG = FIRST_APPLICATION_TAG
+
+
+def sample(ts, vals, src):
+    return Packet(1, TAG, TIME_ALIGN_IN_FMT, (ts, np.asarray(vals, float)), src=src)
+
+
+class TestBinning:
+    def test_requires_bin_width(self):
+        with pytest.raises(FilterError):
+            TimeAlignedAggregator()
+        with pytest.raises(FilterError):
+            TimeAlignedAggregator(bin_width=0)
+        with pytest.raises(FilterError):
+            TimeAlignedAggregator(bin_width=1.0, op="median")
+
+    def test_bin_held_until_watermarks_pass(self):
+        f = TimeAlignedAggregator(bin_width=1.0)
+        ctx = FilterContext(n_children=2)
+        # Child 10 reports in bin 0; nothing released (child 11 unseen).
+        assert f.execute([sample(0.5, [1.0], 10)], ctx) == []
+        # Child 11 reports in bin 0; bin 0 not complete (watermark 0.6 < 1.0).
+        assert f.execute([sample(0.6, [2.0], 11)], ctx) == []
+        # Child 10 moves past bin 0...
+        assert f.execute([sample(1.2, [5.0], 10)], ctx) == []
+        # ...and once child 11 does too, bin 0 releases.
+        out = f.execute([sample(1.3, [7.0], 11)], ctx)
+        assert len(out) == 1
+        ts, total, count = out[0].values
+        assert ts == 0.0
+        assert total[0] == pytest.approx(3.0)
+        assert count == 2
+        assert f.pending_bins() == 1  # bin 1 still open
+
+    def test_flush_drains_open_bins(self):
+        f = TimeAlignedAggregator(bin_width=1.0)
+        ctx = FilterContext(n_children=2)
+        f.execute([sample(0.5, [1.0], 10)], ctx)
+        out = f.flush(ctx)
+        assert len(out) == 1
+        assert out[0].values[2] == 1
+
+    def test_mean_finalized_at_root_only(self):
+        ctx_mid = FilterContext(n_children=1, is_root=False)
+        ctx_root = FilterContext(n_children=1, is_root=True)
+        f_mid = TimeAlignedAggregator(bin_width=1.0, op="mean")
+        f_root = TimeAlignedAggregator(bin_width=1.0, op="mean")
+        f_mid.execute([sample(0.1, [2.0], 10)], ctx_mid)
+        f_mid.execute([sample(0.2, [4.0], 10)], ctx_mid)
+        (partial,) = f_mid.flush(ctx_mid)
+        assert partial.fmt == TIME_ALIGN_OUT_FMT
+        assert partial.values[1][0] == pytest.approx(6.0)  # still a sum
+        f_root.execute([partial], ctx_root)
+        (final,) = f_root.flush(ctx_root)
+        assert final.values[1][0] == pytest.approx(3.0)  # mean of 2 samples
+        assert final.values[2] == 2
+
+    def test_shape_change_within_bin_rejected(self):
+        f = TimeAlignedAggregator(bin_width=1.0)
+        ctx = FilterContext(n_children=2)
+        f.execute([sample(0.1, [1.0], 10)], ctx)
+        with pytest.raises(FilterError):
+            f.execute([sample(0.2, [1.0, 2.0], 11)], ctx)
+
+    def test_wrong_format_rejected(self):
+        f = TimeAlignedAggregator(bin_width=1.0)
+        with pytest.raises(FilterError):
+            f.execute([Packet(1, TAG, "%d", (1,))], FilterContext())
+
+    def test_negative_timestamps_bin_correctly(self):
+        f = TimeAlignedAggregator(bin_width=1.0)
+        ctx = FilterContext(n_children=1)
+        f.execute([sample(-0.5, [1.0], 10)], ctx)
+        (out,) = f.flush(ctx)
+        assert out.values[0] == -1.0  # floor(-0.5) = bin -1
+
+
+class TestEndToEnd:
+    def test_cluster_wide_time_bins(self):
+        """Each back-end samples at its own phase; the tree aligns bins."""
+        topo = balanced_topology(2, 2)
+        with Network(topo) as net:
+            s = net.new_stream(
+                transform="time_align",
+                sync="null",
+                transform_params={"bin_width": 10.0},
+            )
+            order = {r: i for i, r in enumerate(topo.backends)}
+
+            def leaf(be):
+                be.wait_for_stream(s.stream_id)
+                phase = order[be.rank] * 0.7
+                for step in range(3):
+                    ts = step * 10.0 + phase
+                    be.send(s.stream_id, TAG, TIME_ALIGN_IN_FMT, ts, np.array([1.0]))
+
+            net.run_backends(leaf)
+            s.close_async()
+            packets = s.drain(timeout=15)
+            by_bin = {}
+            for p in packets:
+                ts, total, count = p.values
+                entry = by_bin.setdefault(ts, [0.0, 0])
+                entry[0] += total[0]
+                entry[1] += int(count)
+            assert set(by_bin) == {0.0, 10.0, 20.0}
+            for ts, (total, count) in by_bin.items():
+                assert count == 4, f"bin {ts}"
+                assert total == pytest.approx(4.0)
+            assert net.node_errors() == {}

@@ -1,0 +1,175 @@
+"""Tests for the tool-domain applications (profiler, monitor, admin)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Network, balanced_topology
+from repro.core.errors import TBONError
+from repro.tools.admin import TaskRegistry, default_task_registry, run_task
+from repro.tools.monitor import ClusterMonitor, NodeMetrics
+from repro.tools.profiler import (
+    live_startup,
+    make_symbol_table,
+    parse_symbol_table,
+    simulate_startup,
+)
+
+#: Fixed parse cost so simulated-startup tests are machine-independent.
+PARSE_COST = 20e-9
+
+
+@pytest.fixture
+def net():
+    network = Network(balanced_topology(3, 2))
+    yield network
+    network.shutdown()
+    assert network.node_errors() == {}
+
+
+class TestSymbolTables:
+    def test_roundtrip(self):
+        table = make_symbol_table(100, host="h", variant=2)
+        parsed = parse_symbol_table(table)
+        assert len(parsed) == 100
+        name, (addr, module) = next(iter(parsed.items()))
+        assert name.startswith("func_2_")
+        assert addr >= 0x400000
+        assert module.endswith(".so")
+
+    def test_variants_differ(self):
+        assert make_symbol_table(10, variant=0) != make_symbol_table(10, variant=1)
+
+    def test_same_variant_same_body(self):
+        def body(t):
+            return [l for l in t.splitlines() if not l.startswith("#")]
+
+        assert body(make_symbol_table(10, host="a")) == body(
+            make_symbol_table(10, host="b")
+        )
+
+
+class TestLiveStartup:
+    def test_startup_phases(self, net):
+        rep = live_startup(net, n_functions=40, n_variants=3, seed=1)
+        assert rep.n_daemons == 9
+        assert rep.n_classes == 3  # redundancy suppressed
+        assert rep.skew_error < 1e-3  # recovered injected skews
+        assert rep.total_time > 0
+
+    def test_variant_count_respected(self, net):
+        rep = live_startup(net, n_functions=20, n_variants=1, seed=2)
+        assert rep.n_classes == 1
+
+
+class TestSimulatedStartup:
+    def test_paper_scale_numbers(self):
+        """T-startup acceptance: >60s one-to-many, <20s tree, ~3-4x."""
+        one = simulate_startup(512, aggregate=False, parse_cost_per_byte=PARSE_COST)
+        tree = simulate_startup(512, aggregate=True, parse_cost_per_byte=PARSE_COST)
+        assert one.total_time > 60.0
+        assert tree.total_time < 20.0
+        assert 3.0 <= one.total_time / tree.total_time <= 5.5
+
+    def test_speedup_grows_with_scale(self):
+        speedups = []
+        for n in (32, 128, 512):
+            one = simulate_startup(n, aggregate=False, parse_cost_per_byte=PARSE_COST)
+            tree = simulate_startup(n, aggregate=True, parse_cost_per_byte=PARSE_COST)
+            speedups.append(one.total_time / tree.total_time)
+        assert speedups == sorted(speedups)
+
+    def test_tree_time_nearly_flat(self):
+        t128 = simulate_startup(128, aggregate=True, parse_cost_per_byte=PARSE_COST)
+        t512 = simulate_startup(512, aggregate=True, parse_cost_per_byte=PARSE_COST)
+        assert t512.total_time < 1.3 * t128.total_time
+
+
+class TestMonitor:
+    def test_snapshot_invariants(self, net):
+        mon = ClusterMonitor(net)
+        try:
+            for _ in range(3):
+                snap = mon.snapshot(timeout=15)
+                assert np.all(snap.minimum <= snap.average + 1e-9)
+                assert np.all(snap.average <= snap.maximum + 1e-9)
+                d = snap.as_dict()
+                assert set(d) == {"cpu_pct", "mem_mb", "net_mbps", "load"}
+        finally:
+            mon.close()
+
+    def test_custom_sampler(self, net):
+        def factory(rank):
+            return lambda: NodeMetrics(
+                cpu_pct=float(rank), mem_mb=1.0, net_mbps=1.0, load=1.0
+            )
+
+        mon = ClusterMonitor(net, sampler_factory=factory)
+        try:
+            snap = mon.snapshot(timeout=15)
+            backends = net.topology.backends
+            assert snap.minimum[0] == pytest.approx(min(backends))
+            assert snap.maximum[0] == pytest.approx(max(backends))
+            assert snap.average[0] == pytest.approx(np.mean(backends))
+        finally:
+            mon.close()
+
+
+class TestAdmin:
+    def test_run_task_covers_all_backends(self, net):
+        res = run_task(net, "uname")
+        assert set(res.outputs) == set(net.topology.backends)
+        assert all("tbon-sim" in out for out in res.outputs.values())
+
+    def test_task_kwargs(self, net):
+        res = run_task(net, "echo", {"text": "ping"})
+        assert all(out.endswith("ping") for out in res.outputs.values())
+
+    def test_unknown_task_fails_fast(self, net):
+        with pytest.raises(TBONError, match="unknown task"):
+            run_task(net, "rm_rf_slash")
+
+    def test_task_errors_reported_in_output(self, net):
+        reg = TaskRegistry()
+        reg.register("boom", lambda rank: 1 / 0)
+        res = run_task(net, "boom", registry=reg)
+        assert all("ERROR" in out for out in res.outputs.values())
+
+    def test_registry_rejects_duplicates(self):
+        reg = TaskRegistry()
+        reg.register("t", lambda rank: "")
+        with pytest.raises(TBONError):
+            reg.register("t", lambda rank: "")
+
+    def test_default_registry_names(self):
+        assert {"echo", "uname", "disk_usage"} <= set(default_task_registry.names())
+
+
+class TestMonitorWatch:
+    def test_watch_series(self, net):
+        from repro.tools.monitor import ClusterMonitor
+
+        mon = ClusterMonitor(net)
+        try:
+            series = mon.watch(3, interval=0.0, timeout=15)
+            assert len(series) == 3
+            for snap in series:
+                assert snap.n_reporting == 9
+        finally:
+            mon.close()
+
+
+class TestNetworkStats:
+    def test_stats_show_reduction_ratio(self, net):
+        from repro import FIRST_APPLICATION_TAG
+        from conftest import send_from_all
+
+        s = net.new_stream(transform="sum", sync="wait_for_all")
+        send_from_all(net, s, FIRST_APPLICATION_TAG, "%d", lambda r: 1)
+        assert s.recv(timeout=10).values[0] == 9
+        stats = net.stats()
+        # Every internal node reduced 3 packets to 1; the root likewise.
+        for label, per_stream in stats.items():
+            pin, pout = per_stream[s.stream_id]
+            assert (pin, pout) == (3, 1), label

@@ -1,0 +1,345 @@
+"""Unit and property tests for process-tree topologies."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import TopologyError
+from repro.core.topology import (
+    NodeDesc,
+    NodeRole,
+    Topology,
+    balanced_topology,
+    deep_topology,
+    flat_topology,
+    internal_node_overhead,
+    knomial_topology,
+    parse_topology_file,
+)
+
+
+class TestValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(TopologyError):
+            Topology({})
+
+    def test_missing_root_rejected(self):
+        with pytest.raises(TopologyError):
+            Topology({1: [2]})
+
+    def test_two_parents_rejected(self):
+        with pytest.raises(TopologyError):
+            Topology({0: [1, 2], 1: [3], 2: [3]})
+
+    def test_self_parent_rejected(self):
+        with pytest.raises(TopologyError):
+            Topology({0: [0]})
+
+    def test_duplicate_child_rejected(self):
+        with pytest.raises(TopologyError):
+            Topology({0: [1, 1]})
+
+    def test_cycle_rejected(self):
+        with pytest.raises(TopologyError):
+            Topology({0: [1], 1: [2], 2: [1]})
+
+    def test_second_root_rejected(self):
+        with pytest.raises(TopologyError):
+            Topology({0: [1], 5: [6]})
+
+
+class TestShapes:
+    def test_flat(self):
+        t = flat_topology(8)
+        assert t.n_backends == 8
+        assert t.n_internal == 0
+        assert t.depth() == 1
+        assert t.max_fanout == 8
+        assert t.role(0) == NodeRole.FRONT_END
+        assert all(t.role(b) == NodeRole.BACK_END for b in t.backends)
+
+    def test_flat_needs_backends(self):
+        with pytest.raises(TopologyError):
+            flat_topology(0)
+
+    @pytest.mark.parametrize("fanout,depth", [(2, 1), (2, 3), (4, 2), (16, 2)])
+    def test_balanced(self, fanout, depth):
+        t = balanced_topology(fanout, depth)
+        assert t.n_backends == fanout**depth
+        assert t.depth() == depth
+        assert t.max_fanout == fanout
+        expected_internal = sum(fanout**k for k in range(1, depth))
+        assert t.n_internal == expected_internal
+
+    def test_balanced_rejects_bad_args(self):
+        with pytest.raises(TopologyError):
+            balanced_topology(0, 2)
+        with pytest.raises(TopologyError):
+            balanced_topology(2, 0)
+
+    @pytest.mark.parametrize("n,fanout", [(16, 4), (48, 7), (324, 18), (5, 2), (100, 16)])
+    def test_deep_covers_all_backends(self, n, fanout):
+        t = deep_topology(n, fanout)
+        assert t.n_backends == n
+        assert t.max_fanout <= fanout
+        assert t.depth() <= math.ceil(math.log(n, fanout)) + 1
+
+    def test_deep_degenerates_to_flat(self):
+        t = deep_topology(4, 8)
+        assert t.n_internal == 0
+
+    @pytest.mark.parametrize("k,order", [(2, 3), (3, 2), (2, 0)])
+    def test_knomial(self, k, order):
+        t = knomial_topology(k, order)
+        # k-nomial tree has k**order communication nodes, each with one
+        # dedicated back-end leaf.
+        assert t.n_backends == k**order
+        assert len(t) == 2 * k**order
+
+    def test_knomial_skewed(self):
+        t = knomial_topology(2, 4)
+        # Binomial tree root has `order` k-nomial children + 1 leaf.
+        assert t.fanout(0) == 4 + 1
+        with pytest.raises(TopologyError):
+            knomial_topology(1, 2)
+
+
+class TestQueries:
+    def test_roles_and_paths(self):
+        t = balanced_topology(2, 2)
+        internal = t.internals[0]
+        assert t.role(internal) == NodeRole.INTERNAL
+        leaf = t.backends[0]
+        path = t.path(leaf)
+        assert path[0] == 0 and path[-1] == leaf
+        assert t.ancestors(leaf) == list(reversed(path[:-1]))
+
+    def test_subtree_backends(self):
+        t = balanced_topology(2, 2)
+        assert t.subtree_backends(0) == frozenset(t.backends)
+        for internal in t.internals:
+            sub = t.subtree_backends(internal)
+            assert sub == frozenset(t.children(internal))
+
+    def test_covering_children(self):
+        t = balanced_topology(2, 2)
+        left, right = t.children(0)
+        left_leaves = t.subtree_backends(left)
+        assert t.covering_children(0, left_leaves) == [left]
+        assert set(t.covering_children(0, t.backends)) == {left, right}
+
+    def test_fanout_histogram(self):
+        t = balanced_topology(3, 2)
+        assert t.fanout_histogram() == {3: 4}
+
+    def test_unknown_rank_rejected(self):
+        t = flat_topology(2)
+        with pytest.raises(TopologyError):
+            t.children(99)
+
+    def test_iter_edges_count(self):
+        t = balanced_topology(3, 2)
+        assert len(list(t.iter_edges())) == len(t) - 1
+
+
+class TestDynamic:
+    def test_attach_backend(self):
+        t = flat_topology(2)
+        t2, new = t.attach_backend(0)
+        assert new not in t
+        assert new in t2
+        assert t2.n_backends == 3
+        # Original untouched (persistent-style updates).
+        assert t.n_backends == 2
+
+    def test_attach_under_backend_rejected(self):
+        t = flat_topology(2)
+        with pytest.raises(TopologyError):
+            t.attach_backend(t.backends[0])
+
+    def test_detach_backend(self):
+        t = flat_topology(3)
+        t2 = t.detach_backend(t.backends[0])
+        assert t2.n_backends == 2
+
+    def test_detach_internal_rejected(self):
+        t = balanced_topology(2, 2)
+        with pytest.raises(TopologyError):
+            t.detach_backend(t.internals[0])
+
+    def test_replace_subtree_parent(self):
+        t = balanced_topology(2, 2)
+        victim = t.internals[0]
+        kids = t.children(victim)
+        t2 = t.replace_subtree_parent(victim)
+        assert victim not in t2
+        for k in kids:
+            assert t2.parent(k) == 0
+        assert t2.n_backends == t.n_backends
+
+    def test_replace_root_rejected(self):
+        t = balanced_topology(2, 2)
+        with pytest.raises(TopologyError):
+            t.replace_subtree_parent(0)
+
+
+class TestTopologyFile:
+    SPEC = """
+    # front-end on hostA
+    hostA:0 => hostB:0 hostC:0 ;
+    hostB:0 => hostB:1 hostB:2 ;
+    hostC:0 => hostC:1 ;
+    """
+
+    def test_parse(self):
+        t = parse_topology_file(self.SPEC)
+        assert t.n_backends == 3
+        assert t.n_internal == 2
+        assert t.desc(0) == NodeDesc("hostA", 0)
+
+    def test_roundtrip(self):
+        t = parse_topology_file(self.SPEC)
+        t2 = parse_topology_file(t.to_spec())
+        assert [t2.desc(r) for r in t2.ranks] == [t.desc(r) for r in t.ranks]
+        assert list(t2.iter_edges()) == list(t.iter_edges())
+
+    def test_malformed_statements(self):
+        for bad in ["hostA:0 hostB:0 ;", "hostA:0 => ;", "hostA => hostB:0 ;", ""]:
+            with pytest.raises(TopologyError):
+                parse_topology_file(bad)
+
+    def test_comments_stripped(self):
+        t = parse_topology_file("a:0 => a:1 ; # trailing comment\n# whole line\n")
+        assert t.n_backends == 1
+
+
+class TestOverheadAccounting:
+    """The Section 3.2 numbers, exactly."""
+
+    def test_paper_256(self):
+        n, frac = internal_node_overhead(16, 256)
+        assert n == 16
+        assert frac == pytest.approx(0.0625)
+
+    def test_paper_4096(self):
+        n, frac = internal_node_overhead(16, 4096)
+        assert n == 272
+        assert frac == pytest.approx(272 / 4096)
+        assert 0.066 < frac < 0.067
+
+    def test_small_tree_no_internals(self):
+        assert internal_node_overhead(16, 16) == (0, 0.0)
+
+    def test_matches_deep_topology(self):
+        for n in (64, 256, 300):
+            expected, _ = internal_node_overhead(16, n)
+            t = deep_topology(n, 16)
+            assert t.n_internal <= expected + 2  # builder may differ slightly
+
+    def test_internal_overhead_method(self):
+        t = deep_topology(256, 16)
+        assert t.internal_overhead() == t.n_internal / 256
+
+
+# -- property tests -------------------------------------------------------------
+
+@st.composite
+def random_tree(draw):
+    """Random parent map: node i's parent is a uniform pick from 0..i-1."""
+    n = draw(st.integers(min_value=2, max_value=40))
+    parents = [draw(st.integers(min_value=0, max_value=i - 1)) for i in range(1, n)]
+    children: dict[int, list[int]] = {i: [] for i in range(n)}
+    for child, parent in enumerate(parents, start=1):
+        children[parent].append(child)
+    return Topology(children)
+
+
+@settings(max_examples=100, deadline=None)
+@given(random_tree())
+def test_property_tree_invariants(t: Topology):
+    # Partition: every non-root rank is a back-end xor internal.
+    assert set(t.backends) | set(t.internals) | {0} == set(t.ranks)
+    assert not set(t.backends) & set(t.internals)
+    # Parent/child consistency.
+    for parent, child in t.iter_edges():
+        assert t.parent(child) == parent
+        assert child in t.children(parent)
+    # Subtree backends of root = all backends.
+    assert t.subtree_backends(0) == frozenset(t.backends)
+    # Depth of every node = path length - 1.
+    for r in t.ranks:
+        assert t.depth(r) == len(t.path(r)) - 1
+    # Spec roundtrip preserves structure.
+    if t.n_backends < len(t):  # to_spec needs at least one edge statement
+        t2 = parse_topology_file(t.to_spec())
+        assert len(t2) == len(t)
+        assert t2.n_backends == t.n_backends
+
+
+@settings(max_examples=100, deadline=None)
+@given(random_tree())
+def test_property_covering_children_partition(t: Topology):
+    """Covering children partition the members among subtrees."""
+    members = t.backends[:: 2] or t.backends
+    for rank in t.internals + [0]:
+        covering = t.covering_children(rank, members)
+        seen: set[int] = set()
+        for c in covering:
+            sub = t.subtree_backends(c) & set(members)
+            assert sub, "covering child with no members"
+            assert not seen & sub, "members double-covered"
+            seen |= sub
+        assert seen == t.subtree_backends(rank) & set(members)
+
+
+class TestHostAssignment:
+    def test_round_robin_placement(self):
+        from repro.core.topology import assign_hosts
+
+        t = balanced_topology(2, 2)
+        placed = assign_hosts(t, ["a", "b", "c"])
+        assert placed.desc(0).host == "a"  # front-end on the first host
+        hosts_used = {placed.desc(r).host for r in placed.ranks}
+        assert hosts_used == {"a", "b", "c"}
+        # host indexes are dense per host
+        for h in hosts_used:
+            idxs = sorted(
+                placed.desc(r).index for r in placed.ranks if placed.desc(r).host == h
+            )
+            assert idxs == list(range(len(idxs)))
+
+    def test_capacity_respected(self):
+        from repro.core.topology import assign_hosts
+
+        t = balanced_topology(2, 2)  # 7 processes
+        placed = assign_hosts(t, ["a", "b", "c", "d"], processes_per_host=2)
+        counts = {}
+        for r in placed.ranks:
+            counts[placed.desc(r).host] = counts.get(placed.desc(r).host, 0) + 1
+        assert all(c <= 2 for c in counts.values())
+
+    def test_overflow_rejected(self):
+        from repro.core.topology import assign_hosts
+
+        t = balanced_topology(2, 2)  # 7 processes > 2 hosts x 2 slots
+        with pytest.raises(TopologyError):
+            assign_hosts(t, ["a", "b"], processes_per_host=2)
+
+    def test_structure_preserved_and_spec_roundtrips(self):
+        from repro.core.topology import assign_hosts
+
+        t = balanced_topology(3, 2)
+        placed = assign_hosts(t, ["n01", "n02", "n03", "n04"])
+        assert list(placed.iter_edges()) == list(t.iter_edges())
+        t2 = parse_topology_file(placed.to_spec())
+        assert t2.n_backends == t.n_backends
+
+    def test_empty_hosts_rejected(self):
+        from repro.core.topology import assign_hosts
+
+        with pytest.raises(TopologyError):
+            assign_hosts(flat_topology(2), [])
