@@ -207,9 +207,16 @@ class SynchronizationFilter:
     polls :meth:`next_deadline` to schedule timer wakeups, and calls
     :meth:`on_timer` when a deadline passes and :meth:`flush` at stream
     close.
+
+    Filters that never set deadlines (``wait_for_all``, ``null``) leave
+    :attr:`timed` False so the event loop can skip timer bookkeeping for
+    their streams entirely; the loop also treats any subclass overriding
+    :meth:`next_deadline` or :meth:`on_timer` as timed.
     """
 
     name: str = ""
+    #: True when this policy schedules deadlines (drives timer wakeups).
+    timed: bool = False
 
     def __init__(self, **params: Any):
         self.params = params

@@ -95,6 +95,9 @@ class NodeRunner:
         self.streams: dict[int, StreamState] = {}
         self.running = False
         self.error: Exception | None = None
+        #: Envelopes handled per inbox wakeup (tunable; higher amortizes
+        #: queue locking, lower bounds timer latency under backlog).
+        self.batch_max = 64
         self._thread: threading.Thread | None = None
         self._is_root = rank == topology.root
         self._children = topology.children(rank)
@@ -102,6 +105,15 @@ class NodeRunner:
         self._backend_children = frozenset(
             c for c in self._children if not topology.children(c)
         )
+        # Timer bookkeeping: only streams whose sync filter actually
+        # implements deadlines are scanned, and the earliest deadline is
+        # cached between mutations — the wait_for_all/null fast path
+        # does zero next_deadline()/on_timer() calls per data packet.
+        self._timed_streams: dict[int, StreamState] = {}
+        self._deadline_dirty = True
+        self._cached_deadline: float | None = None
+        # Duck-typed transports (tests, simulators) may predate multicast.
+        self._multicast = getattr(transport, "multicast", None)
 
     # -- lifecycle ----------------------------------------------------------
     def start(self) -> "NodeRunner":
@@ -118,44 +130,93 @@ class NodeRunner:
             self._thread.join(timeout)
 
     def run(self) -> None:
-        """Drain the inbox until shutdown; called by :meth:`start`."""
+        """Drain the inbox until shutdown; called by :meth:`start`.
+
+        Each wakeup handles a whole batch of ready envelopes (one queue
+        lock round-trip for the batch, one timer check after it) instead
+        of paying the full wait/lock/timer cycle per packet.  Both the
+        per-envelope handlers and the timer pass report errors through
+        ``self.error`` rather than killing the thread silently.
+        """
         inbox = self.transport.inbox(self.rank)
+        get_batch = getattr(inbox, "get_batch", None)
         self.running = True
         while self.running:
             timeout = self._next_timer_delay()
             try:
-                env = inbox.get(timeout=timeout)
+                if get_batch is not None:
+                    batch = get_batch(self.batch_max, timeout=timeout)
+                else:  # duck-typed inbox without batching
+                    batch = [inbox.get(timeout=timeout)]
             except queue.Empty:
-                self._fire_timers()
-                continue
+                batch = []
             except ChannelClosedError:
                 break
+            for env in batch:
+                try:
+                    self.handle(env)
+                except Exception as exc:  # surface, don't die silently
+                    self.error = exc
+                    self._report_error(exc)
+                if not self.running:
+                    break
             try:
-                self.handle(env)
-            except Exception as exc:  # surface, don't die silently
+                self._fire_timers()
+            except Exception as exc:  # a filter exception from on_timer
                 self.error = exc
                 self._report_error(exc)
-            self._fire_timers()
 
     # -- timers ----------------------------------------------------------------
+    def _register_stream_timers(self, st: StreamState) -> None:
+        """Track ``st`` for timer scans iff its sync filter uses deadlines."""
+        sync_cls = type(st.sync)
+        timed = getattr(sync_cls, "timed", False) or (
+            sync_cls.next_deadline is not SynchronizationFilter.next_deadline
+            or sync_cls.on_timer is not SynchronizationFilter.on_timer
+        )
+        if timed:
+            self._timed_streams[st.spec.stream_id] = st
+            self._deadline_dirty = True
+
+    def _unregister_stream_timers(self, stream_id: int) -> None:
+        if self._timed_streams.pop(stream_id, None) is not None:
+            self._deadline_dirty = True
+
     def _next_timer_delay(self) -> float | None:
-        """Seconds until the earliest sync-filter deadline, or None."""
-        now = self.clock()
-        earliest: float | None = None
-        for st in self.streams.values():
-            d = st.sync.next_deadline()
-            if d is not None and (earliest is None or d < earliest):
-                earliest = d
-        if earliest is None:
+        """Seconds until the earliest sync-filter deadline, or None.
+
+        O(1) when no stream has a timed sync filter; otherwise the
+        min-deadline is recomputed only after a mutation (push, timer
+        fire, close, reconfigure) marked the cache dirty.
+        """
+        if not self._timed_streams:
             return None
-        return max(0.0, earliest - now)
+        if self._deadline_dirty:
+            earliest: float | None = None
+            for st in self._timed_streams.values():
+                d = st.sync.next_deadline()
+                if d is not None and (earliest is None or d < earliest):
+                    earliest = d
+            self._cached_deadline = earliest
+            self._deadline_dirty = False
+        if self._cached_deadline is None:
+            return None
+        return max(0.0, self._cached_deadline - self.clock())
 
     def _fire_timers(self) -> None:
+        if not self._timed_streams:
+            return
         now = self.clock()
-        for st in list(self.streams.values()):
+        if (
+            not self._deadline_dirty
+            and (self._cached_deadline is None or now < self._cached_deadline)
+        ):
+            return  # nothing can be due yet
+        for st in list(self._timed_streams.values()):
             batches = st.sync.on_timer(now, st.ctx)
             for batch in batches:
                 self._run_transform(st, batch)
+        self._deadline_dirty = True
 
     # -- dispatch ----------------------------------------------------------------
     def handle(self, env: Envelope) -> None:
@@ -214,7 +275,7 @@ class NodeRunner:
         down_name = getattr(spec, "down_transform", "")
         if down_name:
             down = self.registry.make_transform(down_name, **spec.transform_kwargs())
-        self.streams[spec.stream_id] = StreamState(
+        st = StreamState(
             spec=spec,
             transform=transform,
             sync=sync,
@@ -222,6 +283,8 @@ class NodeRunner:
             ctx=ctx,
             covering=covering,
         )
+        self.streams[spec.stream_id] = st
+        self._register_stream_timers(st)
         self._forward_down(packet, covering)
 
     def _on_stream_close_down(self, packet: Packet) -> None:
@@ -254,6 +317,7 @@ class NodeRunner:
             CONTROL_STREAM_ID, TAG_STREAM_CLOSE, "%d", (st.spec.stream_id,)
         )
         del self.streams[st.spec.stream_id]
+        self._unregister_stream_timers(st.spec.stream_id)
         if self._is_root:
             if self.deliver_up is not None:
                 self.deliver_up(Envelope(self.rank, Direction.UPSTREAM, ack))
@@ -305,7 +369,8 @@ class NodeRunner:
         self._backend_children = frozenset(
             c for c in self._children if not new_topo.children(c)
         )
-        for st in self.streams.values():
+        self._deadline_dirty = True
+        for st in list(self.streams.values()):
             st.covering = tuple(
                 new_topo.covering_children(self.rank, st.spec.members)
             )
@@ -347,6 +412,10 @@ class NodeRunner:
         st.packets_in += 1
         packet.hop()
         batches = st.sync.push(packet, env.src, st.ctx)
+        if packet.stream_id in self._timed_streams:
+            # A push can open or close a delivery window; recompute the
+            # min-deadline cache lazily on the next loop iteration.
+            self._deadline_dirty = True
         for batch in batches:
             self._run_transform(st, batch)
 
@@ -389,15 +458,21 @@ class NodeRunner:
 
         The shared :class:`~repro.core.packet.PayloadRef` is increffed
         once per extra recipient — MRNet's counted packet references: one
-        payload object placed in multiple outgoing buffers.
+        payload object placed in multiple outgoing buffers.  The actual
+        fan-out goes through :meth:`Transport.multicast` so transports
+        can share per-packet work (the TCP transport serializes the wire
+        frame exactly once for all k children).
         """
         kids = list(children)
         if not kids:
             return
         if len(kids) > 1:
             packet.payload_ref().incref(len(kids) - 1)
-        for c in kids:
-            self.transport.send(self.rank, c, Direction.DOWNSTREAM, packet)
+        if self._multicast is not None:
+            self._multicast(self.rank, kids, Direction.DOWNSTREAM, packet)
+        else:
+            for c in kids:
+                self.transport.send(self.rank, c, Direction.DOWNSTREAM, packet)
 
     # -- introspection -------------------------------------------------------------------
     def stream_stats(self) -> dict[int, tuple[int, int]]:

@@ -17,6 +17,7 @@ at most once, and explicit reference counts (observable via
 from __future__ import annotations
 
 import itertools
+import struct
 import threading
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Sequence
@@ -32,6 +33,15 @@ from .serialization import (
 __all__ = ["Packet", "PayloadRef", "PacketStats", "make_packet"]
 
 _packet_seq = itertools.count()
+
+#: Wire format of the per-packet control header (see docs/PROTOCOL.md §2).
+HEADER_FMT = "%d %d %d %d %s"
+
+_LEN = struct.Struct("<I")
+
+#: Escape hatch for benchmarking the pre-memoization data plane; leave
+#: True in production code.  (See ``benchmarks/bench_fastpath.py``.)
+FRAME_CACHE_ENABLED = True
 
 
 @dataclass
@@ -128,7 +138,18 @@ class Packet:
         hops: number of communication processes traversed so far.
     """
 
-    __slots__ = ("stream_id", "tag", "fmt", "src", "hops", "seq", "_values", "_ref")
+    __slots__ = (
+        "stream_id",
+        "tag",
+        "fmt",
+        "src",
+        "hops",
+        "seq",
+        "_values",
+        "_ref",
+        "_frame",
+        "_frame_hops",
+    )
 
     def __init__(
         self,
@@ -150,6 +171,8 @@ class Packet:
         vals = tuple(values) if _validated else validate_values(fmt, values)
         self._values = vals
         self._ref: PayloadRef | None = None
+        self._frame: bytes | None = None
+        self._frame_hops = -1
 
     # -- payload access ------------------------------------------------
     @property
@@ -179,18 +202,39 @@ class Packet:
         return payload_nbytes(self.fmt, self._values)
 
     def to_bytes(self) -> bytes:
-        """Serialize header + payload to a transport frame body."""
+        """Serialize header + payload to a transport frame body.
+
+        The frame is memoized on the packet: everything below the header
+        is immutable, and the only mutable header field is ``hops`` (via
+        :meth:`hop`), so the cache is keyed by the hop count at
+        serialization time.  A k-way multicast therefore serializes once
+        and writes the identical buffer k times — MRNet's serialize-once
+        contract, now covering header bytes as well as the counted
+        payload reference.
+        """
+        frame = self._frame
+        if (
+            frame is not None
+            and self._frame_hops == self.hops
+            and FRAME_CACHE_ENABLED
+        ):
+            return frame
         header = pack_payload(
-            "%d %d %d %d %s", (self.stream_id, self.tag, self.src, self.hops, self.fmt)
+            HEADER_FMT, (self.stream_id, self.tag, self.src, self.hops, self.fmt)
         )
         body = self.payload_ref().serialize()
-        return pack_payload("%ac %ac", (header, body))
+        # Inlined pack_payload("%ac %ac", (header, body)) — same bytes,
+        # no per-directive dispatch on the per-frame hot path.
+        frame = b"".join((_LEN.pack(len(header)), header, _LEN.pack(len(body)), body))
+        self._frame = frame
+        self._frame_hops = self.hops
+        return frame
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "Packet":
-        """Inverse of :meth:`to_bytes`."""
+        """Inverse of :meth:`to_bytes` (accepts any bytes-like buffer)."""
         header_raw, body = unpack_payload("%ac %ac", data)
-        stream_id, tag, src, hops, fmt = unpack_payload("%d %d %d %d %s", header_raw)
+        stream_id, tag, src, hops, fmt = unpack_payload(HEADER_FMT, header_raw)
         values = unpack_payload(fmt, body)
         return cls(stream_id, tag, fmt, values, src=src, hops=hops, _validated=True)
 

@@ -187,7 +187,9 @@ def _unpack_len_bytes(buf: bytes, off: int) -> tuple[bytes, int]:
     off += _U32.size
     if off + n > len(buf):
         raise SerializationError("truncated payload (length prefix exceeds buffer)")
-    return buf[off : off + n], off + n
+    # bytes() is a no-op copy for bytes input and materializes memoryview
+    # slices (the TCP receive path hands us views over a reused buffer).
+    return bytes(buf[off : off + n]), off + n
 
 
 def _pack_array(arr: np.ndarray) -> bytes:
@@ -368,6 +370,99 @@ FORMAT_DIRECTIVES: dict[str, Directive] = {
 # Longest-match-first ordering for the parser ("aud" before "ad" etc.).
 _CODES_BY_LENGTH = sorted(FORMAT_DIRECTIVES, key=len, reverse=True)
 
+# -- fixed-width fast path ----------------------------------------------------
+#
+# Formats made of fixed-width scalar directives (optionally ending in one
+# variable-length %s/%ac) compile to a single precompiled struct.Struct,
+# so the whole payload packs/unpacks in one C call instead of one Python
+# call per directive.  The control-plane packet header
+# ("%d %d %d %d %s") is on every wire frame, so this path runs per frame.
+
+_FIXED_STRUCT_CODES = {"b": "?", "d": "q", "ud": "Q", "f": "d"}
+
+
+class _FastPath:
+    """Precompiled pack/unpack for a fixed-width (+ optional tail) format."""
+
+    __slots__ = ("st", "checkers", "tail", "n")
+
+    def __init__(self, st: struct.Struct, checkers: tuple, tail: str | None):
+        self.st = st
+        self.checkers = checkers
+        self.tail = tail
+        self.n = len(checkers) + (1 if tail else 0)
+
+    def pack(self, fmt: str, values: Sequence[Any]) -> bytes:
+        if len(values) != self.n:
+            raise SerializationError(
+                f"format {fmt!r} expects {self.n} values, got {len(values)}"
+            )
+        try:
+            if self.tail is None:
+                return self.st.pack(
+                    *(c(v) for c, v in zip(self.checkers, values))
+                )
+            tail_d = FORMAT_DIRECTIVES[self.tail]
+            raw = tail_d.checker(values[-1])
+            if self.tail == "s":
+                raw = raw.encode("utf-8")
+            return b"".join(
+                (
+                    self.st.pack(*(c(v) for c, v in zip(self.checkers, values))),
+                    _U32.pack(len(raw)),
+                    raw,
+                )
+            )
+        except struct.error as exc:  # pragma: no cover - checkers coerce first
+            raise SerializationError(f"fixed-width pack failed: {exc}") from exc
+
+    def unpack(self, fmt: str, data: bytes) -> tuple[Any, ...]:
+        st = self.st
+        if self.tail is None:
+            if len(data) != st.size:
+                raise SerializationError(
+                    f"payload size mismatch for {fmt!r}: "
+                    f"expected {st.size} bytes, got {len(data)}"
+                )
+            return st.unpack(data)
+        try:
+            head = st.unpack_from(data, 0)
+        except struct.error as exc:
+            raise SerializationError(f"truncated payload for {fmt!r}: {exc}") from exc
+        raw, off = _unpack_len_bytes(data, st.size)
+        if off != len(data):
+            raise SerializationError(
+                f"trailing bytes after payload: consumed {off} of {len(data)}"
+            )
+        tail = raw.decode("utf-8") if self.tail == "s" else bytes(raw)
+        return (*head, tail)
+
+    def nbytes(self, fmt: str, values: Sequence[Any]) -> int:
+        if len(values) != self.n:
+            raise SerializationError(
+                f"format {fmt!r} expects {self.n} values, got {len(values)}"
+            )
+        if self.tail is None:
+            return self.st.size
+        v = values[-1]
+        tail_len = len(v.encode("utf-8")) if self.tail == "s" else len(v)
+        return self.st.size + 4 + tail_len
+
+
+@lru_cache(maxsize=1024)
+def _fast_path(fmt: str) -> _FastPath | None:
+    """The precompiled fast path for ``fmt``, or None if it doesn't qualify."""
+    codes = [d.code for d in parse_format(fmt)]
+    tail: str | None = None
+    if codes and codes[-1] in ("s", "ac"):
+        tail = codes[-1]
+        codes = codes[:-1]
+    if any(c not in _FIXED_STRUCT_CODES for c in codes):
+        return None
+    st = struct.Struct("<" + "".join(_FIXED_STRUCT_CODES[c] for c in codes))
+    checkers = tuple(FORMAT_DIRECTIVES[c].checker for c in codes)
+    return _FastPath(st, checkers, tail)
+
 
 @lru_cache(maxsize=1024)
 def parse_format(fmt: str) -> tuple[Directive, ...]:
@@ -417,6 +512,9 @@ def validate_values(fmt: str, values: Sequence[Any]) -> tuple[Any, ...]:
 
 def pack_payload(fmt: str, values: Sequence[Any]) -> bytes:
     """Serialize ``values`` according to ``fmt`` into a byte string."""
+    fast = _fast_path(fmt)
+    if fast is not None:
+        return fast.pack(fmt, values)
     directives = parse_format(fmt)
     if len(values) != len(directives):
         raise SerializationError(
@@ -434,6 +532,9 @@ def unpack_payload(fmt: str, data: bytes) -> tuple[Any, ...]:
     Raises :class:`SerializationError` if the buffer is truncated or has
     trailing bytes (both indicate a format/payload mismatch).
     """
+    fast = _fast_path(fmt)
+    if fast is not None:
+        return fast.unpack(fmt, data)
     directives = parse_format(fmt)
     values = []
     off = 0
@@ -456,6 +557,9 @@ def payload_nbytes(fmt: str, values: Sequence[Any]) -> int:
     Used by the discrete-event simulator's link models, which charge
     transfer time proportional to wire size.
     """
+    fast = _fast_path(fmt)
+    if fast is not None:
+        return fast.nbytes(fmt, values)
     directives = parse_format(fmt)
     if len(values) != len(directives):
         raise SerializationError(

@@ -97,6 +97,7 @@ class TimeOut(SynchronizationFilter):
     """
 
     name = "time_out"
+    timed = True
 
     def __init__(self, *, window: float = 0.1, **params: Any):
         super().__init__(window=window, **params)

@@ -61,6 +61,11 @@ class SimCosts:
         link_bandwidth: link bandwidth in bytes/second (1 Gb/s default).
         per_msg_cpu: fixed CPU cost to receive/dispatch one message.
         per_byte_cpu: CPU cost per received byte (deserialize + copy).
+        per_byte_serialize: CPU cost per byte to produce one wire frame.
+            Charged **once per multicast**, not once per child — the
+            middleware memoizes the serialized frame and writes the same
+            buffer to every child socket (serialize-once multicast).
+            Default 0 preserves the historical calibration.
         control_msg_bytes: size of the start-phase control message.
     """
 
@@ -68,6 +73,7 @@ class SimCosts:
     link_bandwidth: float = 125e6
     per_msg_cpu: float = 30e-6
     per_byte_cpu: float = 2e-9
+    per_byte_serialize: float = 0.0
     control_msg_bytes: int = 64
 
     def transfer_time(self, nbytes: float) -> float:
@@ -75,6 +81,10 @@ class SimCosts:
 
     def recv_time(self, nbytes: float) -> float:
         return self.per_msg_cpu + nbytes * self.per_byte_cpu
+
+    def serialize_time(self, nbytes: float) -> float:
+        """One-time frame serialization cost for a send or k-way multicast."""
+        return nbytes * self.per_byte_serialize
 
 
 @dataclass
@@ -190,6 +200,9 @@ class SimTBON:
                 if not kids:
                     start_leaf(rank)
                     return
+                # Serialize-once: the frame cost is paid a single time
+                # here, regardless of the fan-out below.
+                servers[rank].submit(self._cpu(rank, costs.serialize_time(ctrl)))
                 for c in kids:
                     sim.schedule(
                         costs.transfer_time(ctrl),

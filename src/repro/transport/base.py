@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import abc
 import queue
-from typing import Any
+from typing import Any, Sequence
 
 from ..core.errors import ChannelClosedError, TransportError
 from ..core.events import Direction, Envelope
@@ -67,6 +67,45 @@ class Inbox:
             raise ChannelClosedError("inbox closed")
         return item
 
+    def _drain_locked(self, out: list, max_n: int) -> None:
+        """Move up to ``max_n`` ready envelopes into ``out``.
+
+        Takes the queue's internal lock once for the whole drain —
+        under load this is the difference between one lock round-trip
+        per wakeup and one per packet.  A sentinel encountered mid-drain
+        stays queued (behind the already-drained envelopes) so other
+        consumers still observe the close.
+        """
+        q = self._q
+        with q.mutex:
+            items = q.queue
+            while items and len(out) < max_n:
+                if items[0] is SHUTDOWN_SENTINEL:
+                    self._closed = True
+                    break
+                out.append(items.popleft())
+
+    def get_batch(self, max_n: int = 64, timeout: float | None = None) -> list[Envelope]:
+        """Block for at least one envelope, then drain all ready ones.
+
+        Returns between 1 and ``max_n`` envelopes in arrival order.
+
+        Raises:
+            queue.Empty: the timeout elapsed with nothing available.
+            ChannelClosedError: the inbox was closed and has drained.
+        """
+        out: list[Envelope] = []
+        self._drain_locked(out, max_n)
+        if out:
+            return out
+        if self._closed:
+            raise ChannelClosedError("inbox closed")
+        # Nothing ready: block for the first envelope, then sweep again
+        # for anything that arrived while we were waking up.
+        out.append(self.get(timeout=timeout))
+        self._drain_locked(out, max_n)
+        return out
+
     def close(self) -> None:
         self._q.put(SHUTDOWN_SENTINEL)
 
@@ -95,6 +134,19 @@ class Transport(abc.ABC):
     @abc.abstractmethod
     def send(self, src: int, dst: int, direction: Direction, packet: Any) -> None:
         """Enqueue ``packet`` from ``src`` to ``dst`` (must be a tree edge)."""
+
+    def multicast(
+        self, src: int, dsts: Sequence[int], direction: Direction, packet: Any
+    ) -> None:
+        """Send one packet to several destinations (all tree edges).
+
+        Transports override this to share per-packet work across the
+        fan-out: the TCP transport serializes the wire frame once for
+        all k sockets, the thread transport enqueues one shared
+        envelope.  The default is a plain per-destination send loop.
+        """
+        for dst in dsts:
+            self.send(src, dst, direction, packet)
 
     @abc.abstractmethod
     def shutdown(self) -> None:

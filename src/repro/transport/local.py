@@ -10,7 +10,7 @@ its counted payload reference accordingly).
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Sequence
 
 from ..core.errors import TransportError
 from ..core.events import Direction, Envelope
@@ -54,6 +54,17 @@ class ThreadTransport(Transport):
     def send(self, src: int, dst: int, direction: Direction, packet: Any) -> None:
         self._check_edge(src, dst)
         self.inbox(dst).put(Envelope(src=src, direction=direction, packet=packet))
+
+    def multicast(
+        self, src: int, dsts: Sequence[int], direction: Direction, packet: Any
+    ) -> None:
+        # Envelopes are immutable, so one instance serves every child —
+        # a k-way multicast allocates one envelope, not k (the in-process
+        # analogue of serializing the wire frame once).
+        env = Envelope(src=src, direction=direction, packet=packet)
+        for dst in dsts:
+            self._check_edge(src, dst)
+            self.inbox(dst).put(env)
 
     def shutdown(self) -> None:
         for inbox in self._inboxes.values():

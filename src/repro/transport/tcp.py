@@ -11,8 +11,13 @@ Wire format per frame (all little-endian)::
     u32 length | u8 direction (0=up, 1=down) | i32 src rank | packet bytes
 
 Packets are serialized with :meth:`repro.core.packet.Packet.to_bytes`,
-which exercises the counted-payload-reference path: a k-way multicast
-serializes the payload once and writes the same buffer to k sockets.
+which memoizes the whole wire frame (header + counted payload buffer):
+:meth:`TCPTransport.multicast` calls ``to_bytes`` exactly once per
+k-way multicast and writes the identical buffer to k sockets.  Sends use
+scatter-gather ``socket.sendmsg([frame_header, body])`` so the 9-byte
+transport header is never concatenated onto the packet bytes, and each
+reader thread fills a reusable receive buffer with ``recv_into`` —
+no per-chunk allocations on either side of a frame.
 
 The transport binds 127.0.0.1 only; it demonstrates the real-socket data
 path, not multi-host deployment (see DESIGN.md, out of scope).
@@ -23,7 +28,7 @@ from __future__ import annotations
 import socket
 import struct
 import threading
-from typing import Any
+from typing import Any, Sequence
 
 from ..core.errors import ChannelClosedError, TransportError
 from ..core.events import Direction, Envelope
@@ -40,13 +45,19 @@ _DIR_CODE = {Direction.UPSTREAM: 0, Direction.DOWNSTREAM: 1}
 _CODE_DIR = {0: Direction.UPSTREAM, 1: Direction.DOWNSTREAM}
 
 
-def _recv_exact(sock: socket.socket, n: int) -> bytes:
-    buf = bytearray()
-    while len(buf) < n:
-        chunk = sock.recv(n - len(buf))
-        if not chunk:
+def _recv_into_exact(sock: socket.socket, view: memoryview) -> None:
+    """Fill ``view`` completely from the socket (no intermediate buffers)."""
+    while view:
+        got = sock.recv_into(view)
+        if not got:
             raise ConnectionError("peer closed")
-        buf.extend(chunk)
+        view = view[got:]
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    """Compatibility helper for fixed-size reads (handshake, tests)."""
+    buf = bytearray(n)
+    _recv_into_exact(sock, memoryview(buf))
     return bytes(buf)
 
 
@@ -65,12 +76,22 @@ class _Connection:
         self.reader.start()
 
     def _read_loop(self) -> None:
+        # One reusable receive buffer per connection, grown to the
+        # largest frame seen; recv_into writes socket data straight into
+        # it and Packet.from_bytes parses a view over it, so a frame
+        # costs zero transport-side copies beyond the kernel's.
+        hdr_buf = bytearray(_HDR.size)
+        hdr_view = memoryview(hdr_buf)
+        body_buf = bytearray(65536)
         try:
             while not self._closed.is_set():
-                header = _recv_exact(self.sock, _HDR.size)
-                length, dir_code, src = _HDR.unpack(header)
-                body = _recv_exact(self.sock, length)
-                packet = Packet.from_bytes(body)
+                _recv_into_exact(self.sock, hdr_view)
+                length, dir_code, src = _HDR.unpack(hdr_buf)
+                if length > len(body_buf):
+                    body_buf = bytearray(length)
+                body_view = memoryview(body_buf)[:length]
+                _recv_into_exact(self.sock, body_view)
+                packet = Packet.from_bytes(body_view)
                 self.inbox.put(
                     Envelope(src=src, direction=_CODE_DIR[dir_code], packet=packet)
                 )
@@ -78,11 +99,18 @@ class _Connection:
             pass  # normal at shutdown
 
     def send(self, src: int, direction: Direction, packet: Packet) -> None:
-        body = packet.to_bytes()
-        frame = _HDR.pack(len(body), _DIR_CODE[direction], src) + body
+        self.send_frame(src, direction, packet.to_bytes())
+
+    def send_frame(self, src: int, direction: Direction, body: bytes) -> None:
+        """Write one frame via scatter-gather (header and body uncopied)."""
+        header = _HDR.pack(len(body), _DIR_CODE[direction], src)
         with self._wlock:
             try:
-                self.sock.sendall(frame)
+                sent = self.sock.sendmsg((header, body))
+                total = len(header) + len(body)
+                if sent < total:  # rare partial write: finish with sendall
+                    rest = (header + body)[sent:]
+                    self.sock.sendall(rest)
             except OSError as exc:
                 raise ChannelClosedError(f"TCP send failed: {exc}") from exc
 
@@ -180,6 +208,18 @@ class TCPTransport(Transport):
         if conn is None:
             raise ChannelClosedError(f"no TCP connection {src}->{dst}")
         conn.send(src, direction, packet)
+
+    def multicast(
+        self, src: int, dsts: Sequence[int], direction: Direction, packet: Any
+    ) -> None:
+        """Serialize-once multicast: one ``to_bytes``, k socket writes."""
+        body = packet.to_bytes()
+        for dst in dsts:
+            self._check_edge(src, dst)
+            conn = self._conns.get((src, dst))
+            if conn is None:
+                raise ChannelClosedError(f"no TCP connection {src}->{dst}")
+            conn.send_frame(src, direction, body)
 
     def shutdown(self) -> None:
         for conn in self._conns.values():

@@ -1,0 +1,220 @@
+"""Unit tests for NodeRunner control-plane handlers.
+
+Covers the tree routing of back-end p2p messages (`_on_p2p`:
+climb-then-descend) and held-wave release after a topology
+reconfiguration (`_on_reconfigure`), both driven directly through
+``NodeRunner.handle`` without spinning up full networks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ProtocolError
+from repro.core.events import (
+    CONTROL_STREAM_ID,
+    Direction,
+    Envelope,
+    StreamSpec,
+    TAG_P2P,
+    TAG_STREAM_CREATE,
+    TAG_TOPOLOGY_ATTACH,
+)
+from repro.core.filter_registry import default_registry
+from repro.core.node import NodeRunner
+from repro.core.packet import Packet
+from repro.core.topology import balanced_topology
+from repro.transport.local import ThreadTransport
+
+
+def _p2p_packet(dst: int, src: int = -1, tag: int = 200, fmt: str = "%d", values=(1,)):
+    """Build a p2p control packet the way BackEnd.send_p2p does."""
+    return Packet(
+        CONTROL_STREAM_ID, TAG_P2P, "%d %d %d %s %o", (dst, src, tag, fmt, values)
+    )
+
+
+@pytest.fixture
+def topo():
+    # 0 -> (1, 2); 1 -> (3, 4); 2 -> (5, 6).  Backends are 3..6.
+    return balanced_topology(2, 2)
+
+
+@pytest.fixture
+def transport(topo):
+    t = ThreadTransport()
+    t.bind(topo)
+    return t
+
+
+def _node(rank, topo, transport, **kwargs):
+    return NodeRunner(rank, topo, transport, default_registry, **kwargs)
+
+
+class TestP2PRoutingUnit:
+    def test_root_descends_to_covering_child(self, topo, transport):
+        node = _node(0, topo, transport)
+        pkt = _p2p_packet(dst=3, src=5)
+        node.handle(Envelope(2, Direction.UPSTREAM, pkt))
+        env = transport.inbox(1).get(timeout=1)
+        assert env.direction is Direction.DOWNSTREAM
+        assert env.src == 0
+        assert env.packet is pkt  # routed unchanged
+
+    def test_internal_descends_to_local_backend(self, topo, transport):
+        node = _node(1, topo, transport)
+        pkt = _p2p_packet(dst=4, src=3)
+        node.handle(Envelope(3, Direction.UPSTREAM, pkt))
+        env = transport.inbox(4).get(timeout=1)
+        assert env.direction is Direction.DOWNSTREAM
+        assert env.packet.values[0] == 4
+
+    def test_internal_climbs_when_dst_outside_subtree(self, topo, transport):
+        # dst 5 lives under node 2, so node 1 must hand the message to
+        # its parent (the climb half of climb-then-descend).
+        node = _node(1, topo, transport)
+        pkt = _p2p_packet(dst=5, src=3)
+        node.handle(Envelope(3, Direction.UPSTREAM, pkt))
+        env = transport.inbox(0).get(timeout=1)
+        assert env.direction is Direction.UPSTREAM
+        assert env.src == 1
+        assert env.packet is pkt
+
+    def test_climb_then_descend_chain(self, topo, transport):
+        """Route 3 -> 6 hop by hop through nodes 1, 0, 2."""
+        pkt = _p2p_packet(dst=6, src=3)
+        _node(1, topo, transport).handle(Envelope(3, Direction.UPSTREAM, pkt))
+        env = transport.inbox(0).get(timeout=1)
+        _node(0, topo, transport).handle(env)
+        env = transport.inbox(2).get(timeout=1)
+        assert env.direction is Direction.DOWNSTREAM
+        _node(2, topo, transport).handle(env)
+        env = transport.inbox(6).get(timeout=1)
+        assert env.packet.values[0] == 6
+        assert env.packet.values[3:] == ("%d", (1,))
+
+    def test_root_rejects_non_backend_destination(self, topo, transport):
+        node = _node(0, topo, transport)
+        with pytest.raises(ProtocolError, match="not a back-end"):
+            node.handle(Envelope(1, Direction.UPSTREAM, _p2p_packet(dst=1)))
+
+    def test_unknown_destination_rejected(self, topo, transport):
+        node = _node(0, topo, transport)
+        with pytest.raises(ProtocolError, match="not in topology"):
+            node.handle(Envelope(1, Direction.UPSTREAM, _p2p_packet(dst=99)))
+
+
+class TestReconfigureRelease:
+    def _create_stream(self, node, members, sync="wait_for_all"):
+        spec = StreamSpec(1, tuple(members), "sum", sync)
+        node.handle(
+            Envelope(
+                -1,
+                Direction.DOWNSTREAM,
+                Packet(CONTROL_STREAM_ID, TAG_STREAM_CREATE, "%o", (spec,)),
+            )
+        )
+        return spec
+
+    def test_held_wave_releases_when_child_subtree_lost(self, topo, transport):
+        delivered = []
+        node = _node(0, topo, transport, deliver_up=delivered.append)
+        self._create_stream(node, topo.backends)
+        # Child 1's aggregate arrives; wait_for_all blocks on child 2.
+        node.handle(
+            Envelope(1, Direction.UPSTREAM, Packet(1, 100, "%d", (7,), src=1))
+        )
+        assert delivered == []
+        assert node.streams[1].sync.pending_count() == 1
+        # Node 2's subtree is lost; the recovery machinery hands the
+        # shrunken topology straight to the survivors' inboxes.
+        new_topo = (
+            topo.detach_backend(5).detach_backend(6).detach_backend(2)
+        )
+        node.handle(
+            Envelope(
+                -1,
+                Direction.DOWNSTREAM,
+                Packet(CONTROL_STREAM_ID, TAG_TOPOLOGY_ATTACH, "%o", (new_topo,)),
+            )
+        )
+        # The held wave released with the survivor's packet.
+        assert len(delivered) == 1
+        assert delivered[0].packet.values == (7,)
+        assert node.streams[1].covering == (1,)
+        assert node.streams[1].ctx.n_children == 1
+
+    def test_reconfigure_updates_routing_state(self, topo, transport):
+        node = _node(0, topo, transport)
+        self._create_stream(node, topo.backends)
+        new_topo = topo.replace_subtree_parent(2)  # 5, 6 adopted by root
+        node.handle(
+            Envelope(
+                -1,
+                Direction.DOWNSTREAM,
+                Packet(CONTROL_STREAM_ID, TAG_TOPOLOGY_ATTACH, "%o", (new_topo,)),
+            )
+        )
+        assert node.topology is new_topo
+        assert set(node.streams[1].covering) == {1, 5, 6}
+        assert node.streams[1].ctx.n_children == 3
+        # p2p routing follows the new tree: 5 is now root's own child.
+        transport.rebind(new_topo)
+        node.handle(Envelope(1, Direction.UPSTREAM, _p2p_packet(dst=5)))
+        env = transport.inbox(5).get(timeout=1)
+        assert env.direction is Direction.DOWNSTREAM
+
+    def test_waves_after_reconfigure_use_new_width(self, topo, transport):
+        delivered = []
+        node = _node(0, topo, transport, deliver_up=delivered.append)
+        self._create_stream(node, topo.backends)
+        new_topo = topo.detach_backend(5).detach_backend(6).detach_backend(2)
+        node.handle(
+            Envelope(
+                -1,
+                Direction.DOWNSTREAM,
+                Packet(CONTROL_STREAM_ID, TAG_TOPOLOGY_ATTACH, "%o", (new_topo,)),
+            )
+        )
+        # With only child 1 covering, each packet completes a wave alone.
+        node.handle(
+            Envelope(1, Direction.UPSTREAM, Packet(1, 100, "%d", (5,), src=1))
+        )
+        assert len(delivered) == 1 and delivered[0].packet.values == (5,)
+
+    def test_closing_stream_finishes_when_last_ack_was_lost_child(
+        self, topo, transport
+    ):
+        """A stream blocked on a close-ack from a lost subtree completes
+        once reconfiguration shrinks the covering set."""
+        from repro.core.events import TAG_STREAM_CLOSE
+
+        delivered = []
+        node = _node(0, topo, transport, deliver_up=delivered.append)
+        self._create_stream(node, topo.backends)
+        node.handle(
+            Envelope(
+                -1,
+                Direction.DOWNSTREAM,
+                Packet(CONTROL_STREAM_ID, TAG_STREAM_CLOSE, "%d", (1,)),
+            )
+        )
+        # Only child 1 acks; child 2 died.
+        node.handle(
+            Envelope(
+                1,
+                Direction.UPSTREAM,
+                Packet(CONTROL_STREAM_ID, TAG_STREAM_CLOSE, "%d", (1,)),
+            )
+        )
+        assert 1 in node.streams  # still waiting on child 2
+        new_topo = topo.detach_backend(5).detach_backend(6).detach_backend(2)
+        node.handle(
+            Envelope(
+                -1,
+                Direction.DOWNSTREAM,
+                Packet(CONTROL_STREAM_ID, TAG_TOPOLOGY_ATTACH, "%o", (new_topo,)),
+            )
+        )
+        assert 1 not in node.streams  # close completed
+        assert delivered and delivered[-1].packet.tag == TAG_STREAM_CLOSE
