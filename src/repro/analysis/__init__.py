@@ -1,0 +1,47 @@
+"""TBON-aware static analysis and runtime race detection (``tboncheck``).
+
+Two halves:
+
+* Static: an AST lint engine with rules for the paper's correctness
+  invariants — wire-format strings, the filter protocol, the
+  serialize-once mutation contract, lock discipline and exception
+  hygiene.  Run it with ``python -m repro.cli tboncheck src/``; rule
+  catalog and pragma syntax are documented in ``docs/ANALYSIS.md``.
+* Dynamic: :mod:`repro.analysis.locks` instruments every internal lock
+  of the middleware (via :func:`~repro.analysis.locks.make_lock`) with
+  lock-order-graph recording and guarded-attribute enforcement when
+  ``TBON_LOCKCHECK=1`` is set, turning the tier-1 suite into a
+  deadlock-witness detector.
+
+Import discipline: this ``__init__`` (and :mod:`.locks`/:mod:`.findings`)
+must not import :mod:`repro.core` — the core imports *us* for its lock
+factory.  The heavy AST machinery lives in :mod:`.engine`/:mod:`.rules`,
+imported lazily by the CLI.
+"""
+
+from .findings import Finding, RULES
+from .locks import (
+    ENV_VAR,
+    GuardedAccessError,
+    GuardedBy,
+    LockOrderError,
+    LockOrderMonitor,
+    TrackedLock,
+    get_monitor,
+    lockcheck_enabled,
+    make_lock,
+)
+
+__all__ = [
+    "ENV_VAR",
+    "Finding",
+    "GuardedAccessError",
+    "GuardedBy",
+    "LockOrderError",
+    "LockOrderMonitor",
+    "RULES",
+    "TrackedLock",
+    "get_monitor",
+    "lockcheck_enabled",
+    "make_lock",
+]

@@ -1,0 +1,111 @@
+"""The ``tboncheck`` analysis engine: file walking, two passes, reporting.
+
+Pass 1 parses every file and builds the project-wide class index (so
+filter-protocol rules see subclass relationships that cross module
+boundaries — ``class MyFilter(HistogramFilter)`` in one file, the
+``TransformationFilter`` ancestry in another).  Pass 2 runs the rule
+visitors per module and applies ``# tbon:`` pragma suppression.
+
+Used by ``python -m repro.cli tboncheck <paths...>`` and by the test
+suite's zero-findings gate over ``src/``.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+
+from .findings import Finding, PragmaTable, RULES, parse_pragmas
+from .rules import build_index, analyze_module
+
+__all__ = ["AnalysisResult", "analyze_paths", "iter_python_files", "main"]
+
+#: The one module allowed to mutate Packet frame internals (hop(), memo).
+_PACKET_MODULE = os.path.join("core", "packet.py")
+
+
+@dataclass
+class AnalysisResult:
+    """Findings plus bookkeeping from one analysis run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_analyzed: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def render(self) -> str:
+        lines = [f.format() for f in self.findings]
+        lines.append(
+            f"tboncheck: {len(self.findings)} finding(s) in "
+            f"{self.files_analyzed} file(s)"
+        )
+        return "\n".join(lines)
+
+
+def iter_python_files(paths: list[str]) -> list[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: set[str] = set()
+    for path in paths:
+        if os.path.isdir(path):
+            for root, dirs, files in os.walk(path):
+                dirs[:] = sorted(
+                    d for d in dirs if not d.startswith(".") and d != "__pycache__"
+                )
+                for name in sorted(files):
+                    if name.endswith(".py"):
+                        out.add(os.path.join(root, name))
+        else:
+            out.add(path)
+    return sorted(out)
+
+
+def analyze_paths(paths: list[str]) -> AnalysisResult:
+    """Run every rule over ``paths`` (files and/or directory trees)."""
+    result = AnalysisResult()
+    files = iter_python_files(paths)
+    trees: dict[str, ast.Module] = {}
+    pragma_tables: dict[str, PragmaTable] = {}
+
+    for path in files:
+        try:
+            with open(path, encoding="utf-8") as fh:
+                source = fh.read()
+            trees[path] = ast.parse(source, filename=path)
+        except (OSError, SyntaxError, ValueError) as exc:
+            result.findings.append(Finding("TB001", path, 1, 1, str(exc)))
+            continue
+        pragma_tables[path] = parse_pragmas(source)
+
+    index = build_index(trees)
+    for path, tree in trees.items():
+        result.files_analyzed += 1
+        result.findings.extend(
+            analyze_module(
+                path,
+                tree,
+                pragma_tables[path],
+                index,
+                skip_packet_mutation=path.endswith(_PACKET_MODULE),
+            )
+        )
+    result.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return result
+
+
+def list_rules() -> str:
+    """Human-readable rule catalog (for ``tboncheck --list-rules``)."""
+    width = max(len(r) for r in RULES)
+    return "\n".join(f"{rule:<{width}}  {desc}" for rule, desc in sorted(RULES.items()))
+
+
+def main(paths: list[str], *, list_rules_only: bool = False) -> int:
+    """CLI entry point; returns the process exit code (0 = clean)."""
+    if list_rules_only:
+        print(list_rules())
+        return 0
+    result = analyze_paths(paths)
+    print(result.render())
+    return 0 if result.ok else 1

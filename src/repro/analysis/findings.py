@@ -1,0 +1,174 @@
+"""Finding records, the rule catalog, and ``# tbon:`` pragma parsing.
+
+This module is import-light (stdlib only) so that
+:mod:`repro.analysis.locks` and the package ``__init__`` can load
+without pulling in :mod:`repro.core` — the core imports the analysis
+package for its lock factory, and the dependency must stay one-way.
+
+Pragma syntax (one directive per comment, anywhere on a source line)::
+
+    # tbon: allow-broad-except(<reason>)   suppress TB401/TB402 here
+    # tbon: lock=<name>                    declare the attribute assigned on
+                                           this line guarded by self.<name>
+    # tbon: lock-free(<reason>)            suppress TB301: this write is
+                                           deliberately unguarded
+    # tbon: ignore[TB101,TB204]            suppress the listed rules here
+    # tbon: ignore[*]                      suppress every rule on this line
+
+``allow-broad-except`` and ``lock-free`` require a reason: a suppression
+nobody can justify in a parenthesis is a suppression that should not
+exist.  Unknown or malformed directives are themselves reported (TB002)
+so a typo cannot silently disable a check.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Finding",
+    "Pragma",
+    "PragmaError",
+    "RULES",
+    "parse_pragmas",
+]
+
+#: Rule catalog: id -> one-line description (documented in docs/ANALYSIS.md).
+RULES: dict[str, str] = {
+    "TB001": "file could not be read or parsed",
+    "TB002": "malformed or unknown '# tbon:' pragma",
+    "TB101": "invalid wire-format string (does not parse against the directive table)",
+    "TB102": "wire-format arity mismatch between format string and packed values",
+    "TB103": "wire-format type mismatch for a literal value",
+    "TB201": "TransformationFilter subclass overrides neither transform nor execute",
+    "TB202": "SynchronizationFilter subclass does not override push",
+    "TB203": "sync filter schedules deadlines but does not declare 'timed = True'",
+    "TB204": "Packet header/payload mutated after construction (serialize-once contract)",
+    "TB301": "write to a lock-guarded attribute outside 'with self.<lock>:'",
+    "TB302": "'# tbon: lock=<name>' names a lock attribute the class never assigns",
+    "TB401": "bare 'except:' swallows everything including KeyboardInterrupt",
+    "TB402": "broad 'except Exception' swallows the error without reporting it",
+}
+
+_PRAGMA_RE = re.compile(r"#\s*tbon:\s*(?P<body>.*\S)\s*$")
+_REASON_RE = re.compile(r"^(?P<kind>allow-broad-except|lock-free)\((?P<reason>[^)]*)\)$")
+_LOCK_RE = re.compile(r"^lock=(?P<name>[A-Za-z_][A-Za-z0-9_]*)$")
+_IGNORE_RE = re.compile(r"^ignore\[(?P<rules>[^\]]*)\]$")
+
+
+class PragmaError(ValueError):
+    """A ``# tbon:`` comment that does not parse (reported as TB002)."""
+
+
+@dataclass(frozen=True)
+class Pragma:
+    """One parsed ``# tbon:`` directive.
+
+    Attributes:
+        kind: ``allow-broad-except`` | ``lock`` | ``lock-free`` | ``ignore``.
+        arg: the reason, lock name, or tuple of rule ids (``("*",)`` for
+            wildcard ignore).
+        line: 1-based source line the comment sits on.
+    """
+
+    kind: str
+    arg: tuple[str, ...]
+    line: int
+
+    def suppresses(self, rule: str) -> bool:
+        if self.kind == "ignore":
+            return "*" in self.arg or rule in self.arg
+        if self.kind == "allow-broad-except":
+            return rule in ("TB401", "TB402")
+        if self.kind == "lock-free":
+            return rule == "TB301"
+        return False
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+def _parse_directive(body: str, line: int) -> Pragma:
+    m = _REASON_RE.match(body)
+    if m:
+        reason = m.group("reason").strip()
+        if not reason:
+            raise PragmaError(
+                f"'{m.group('kind')}' pragma needs a reason: "
+                f"# tbon: {m.group('kind')}(<why>)"
+            )
+        return Pragma(m.group("kind"), (reason,), line)
+    m = _LOCK_RE.match(body)
+    if m:
+        return Pragma("lock", (m.group("name"),), line)
+    m = _IGNORE_RE.match(body)
+    if m:
+        rules = tuple(r.strip() for r in m.group("rules").split(",") if r.strip())
+        if not rules:
+            raise PragmaError("'ignore' pragma lists no rules: # tbon: ignore[TBxxx]")
+        bad = [r for r in rules if r != "*" and r not in RULES]
+        if bad:
+            raise PragmaError(f"'ignore' pragma names unknown rules: {', '.join(bad)}")
+        return Pragma("ignore", rules, line)
+    raise PragmaError(f"unknown tbon pragma {body!r}")
+
+
+@dataclass
+class PragmaTable:
+    """All pragmas of one file, by line, plus pragma parse errors."""
+
+    by_line: dict[int, list[Pragma]] = field(default_factory=dict)
+    errors: list[tuple[int, str]] = field(default_factory=list)
+
+    def suppressed(self, rule: str, line: int) -> bool:
+        return any(p.suppresses(rule) for p in self.by_line.get(line, ()))
+
+    def lock_name(self, line: int) -> str | None:
+        """The lock declared by a ``lock=`` pragma on ``line``, if any."""
+        for p in self.by_line.get(line, ()):
+            if p.kind == "lock":
+                return p.arg[0]
+        return None
+
+
+def parse_pragmas(source: str) -> PragmaTable:
+    """Extract every ``# tbon:`` pragma from ``source``.
+
+    Uses the tokenizer rather than a per-line regex so that ``# tbon:``
+    inside string literals is never mistaken for a pragma.  Files the
+    tokenizer rejects fall back to empty (the AST parse will report
+    TB001 for them anyway).
+    """
+    table = PragmaTable()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return table
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        m = _PRAGMA_RE.search(tok.string)
+        if not m:
+            continue
+        line = tok.start[0]
+        try:
+            pragma = _parse_directive(m.group("body"), line)
+        except PragmaError as exc:
+            table.errors.append((line, str(exc)))
+            continue
+        table.by_line.setdefault(line, []).append(pragma)
+    return table

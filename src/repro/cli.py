@@ -13,6 +13,9 @@ Commands:
 * ``meanshift``   — live distributed mean-shift on this machine.
 * ``topology``    — build and inspect a tree (prints the MRNet-style
   topology file).
+* ``tboncheck``   — TBON-aware static analysis (wire formats, filter
+  protocol, serialize-once contract, lock discipline, exception
+  hygiene); see docs/ANALYSIS.md.
 """
 
 from __future__ import annotations
@@ -143,6 +146,15 @@ def _cmd_topology(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_tboncheck(args: argparse.Namespace) -> int:
+    from .analysis.engine import main as tboncheck_main
+
+    if not args.list_rules and not args.paths:
+        print("tboncheck: no paths given (try: tboncheck src/)")
+        return 2
+    return tboncheck_main(args.paths, list_rules_only=args.list_rules)
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro", description="TBON paper-reproduction harness"
@@ -184,6 +196,15 @@ def build_parser() -> argparse.ArgumentParser:
     tg.add_argument("--fanout", type=int, default=4)
     tg.add_argument("--depth", type=int)
     tg.set_defaults(fn=_cmd_topology)
+
+    tc = sub.add_parser(
+        "tboncheck", help="TBON-aware static analysis (docs/ANALYSIS.md)"
+    )
+    tc.add_argument("paths", nargs="*", help="files or directories to analyze")
+    tc.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalog and exit"
+    )
+    tc.set_defaults(fn=_cmd_tboncheck)
     return p
 
 

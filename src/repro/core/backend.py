@@ -15,6 +15,7 @@ import threading
 import time
 from typing import Any
 
+from ..analysis.locks import make_lock
 from .errors import (
     ChannelClosedError,
     NetworkShutdownError,
@@ -55,13 +56,13 @@ class BackEnd:
         # receives.  This lets independent application components (a
         # monitor loop, a task worker...) consume different streams of
         # the same back-end without stealing each other's packets.
-        self._cond = threading.Condition()
+        self._cond = threading.Condition(make_lock("backend_cond"))
         self._per_stream: dict[int, list[Packet]] = {}
         self._arrivals: list[int] = []
         self._streams: dict[int, StreamSpec] = {}
         self._closed_streams: set[int] = set()
         self._stream_events: dict[int, threading.Event] = {}
-        self._lock = threading.Lock()
+        self._lock = make_lock("backend_state")
         self._shutdown = threading.Event()
         self._thread = threading.Thread(
             target=self._listen, name=f"tbon-backend-{rank}", daemon=True

@@ -16,9 +16,9 @@ object and symbol.
 from __future__ import annotations
 
 import importlib
-import threading
 from typing import Any, Callable, Iterator, Type
 
+from ..analysis.locks import make_lock
 from .errors import FilterLoadError
 from .filters import SynchronizationFilter, TransformationFilter
 
@@ -44,7 +44,7 @@ class FilterRegistry:
     def __init__(self) -> None:
         self._transforms: dict[str, Type[TransformationFilter]] = {}
         self._syncs: dict[str, Type[SynchronizationFilter]] = {}
-        self._lock = threading.Lock()
+        self._lock = make_lock("filter_registry")
 
     # -- registration -----------------------------------------------------
     def add_transform(

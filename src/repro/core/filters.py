@@ -82,10 +82,12 @@ class TransformationFilter:
     #: Registered name (set by the registry decorator).
     name: str = ""
 
-    def __init__(self, **params: Any):
+    def __init__(self, **params: Any) -> None:
         self.params = params
 
-    def transform(self, packets: Sequence[Packet], ctx: FilterContext) -> Packet | None:
+    def transform(
+        self, packets: Sequence[Packet], ctx: FilterContext
+    ) -> Packet | Sequence[Packet] | None:
         """Reduce a batch of packets to one packet (or None to emit nothing)."""
         raise NotImplementedError
 
@@ -136,7 +138,11 @@ class FunctionFilter(TransformationFilter):
         f = FunctionFilter(lambda pkts, ctx: pkts[0])
     """
 
-    def __init__(self, fn: Callable[[Sequence[Packet], FilterContext], Packet | None], **params: Any):
+    def __init__(
+        self,
+        fn: Callable[[Sequence[Packet], FilterContext], Packet | None],
+        **params: Any,
+    ) -> None:
         super().__init__(**params)
         self.fn = fn
 
@@ -170,7 +176,7 @@ class SuperFilter(TransformationFilter):
     next stage's inputs.
     """
 
-    def __init__(self, stages: Sequence[TransformationFilter], **params: Any):
+    def __init__(self, stages: Sequence[TransformationFilter], **params: Any) -> None:
         super().__init__(**params)
         if not stages:
             raise FilterError("SuperFilter needs at least one stage")
@@ -218,7 +224,7 @@ class SynchronizationFilter:
     #: True when this policy schedules deadlines (drives timer wakeups).
     timed: bool = False
 
-    def __init__(self, **params: Any):
+    def __init__(self, **params: Any) -> None:
         self.params = params
 
     def push(

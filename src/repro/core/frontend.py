@@ -11,9 +11,9 @@ surfaces the failure instead of hanging).
 
 from __future__ import annotations
 
-import threading
 from typing import TYPE_CHECKING
 
+from ..analysis.locks import make_lock
 from .errors import FilterError
 from .events import CONTROL_STREAM_ID, Envelope, TAG_ERROR, TAG_STREAM_CLOSE
 from .packet import Packet
@@ -29,7 +29,7 @@ class FrontEnd:
 
     def __init__(self) -> None:
         self._streams: dict[int, "Stream"] = {}
-        self._lock = threading.Lock()
+        self._lock = make_lock("frontend_streams")
         self.errors: list[FilterError] = []
 
     def register(self, stream: "Stream") -> None:

@@ -26,6 +26,7 @@ import itertools
 import threading
 from typing import Any, Callable, Iterable, Sequence
 
+from ..analysis.locks import make_lock
 from .backend import BackEnd
 from .errors import NetworkShutdownError, StreamError, TopologyError
 from .events import (
@@ -72,7 +73,7 @@ class Network:
         self.frontend = FrontEnd()
         self._stream_ids = itertools.count(FIRST_STREAM_ID)
         self._shutdown = False
-        self._lock = threading.Lock()
+        self._lock = make_lock("network_state")
 
         if transport == "thread":
             from ..transport.local import ThreadTransport
@@ -239,7 +240,7 @@ class Network:
         inside ``fn`` are re-raised at the caller (first one wins).
         """
         errors: list[Exception] = []
-        err_lock = threading.Lock()
+        err_lock = make_lock("run_backends_errors")
 
         def wrap(be: BackEnd) -> None:
             try:

@@ -18,10 +18,10 @@ from __future__ import annotations
 
 import itertools
 import struct
-import threading
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Sequence
 
+from ..analysis.locks import make_lock
 from .errors import SerializationError
 from .serialization import (
     pack_payload,
@@ -58,7 +58,7 @@ class PacketStats:
     serializations: int = 0
     buffers_live: int = 0
     max_refcount: int = 0
-    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+    _lock: Any = field(default_factory=lambda: make_lock("packet_stats"), repr=False)
 
     def reset(self) -> None:
         with self._lock:
@@ -84,12 +84,12 @@ class PayloadRef:
 
     __slots__ = ("_fmt", "_values", "_buffer", "_refcount", "_lock")
 
-    def __init__(self, fmt: str, values: tuple[Any, ...]):
+    def __init__(self, fmt: str, values: tuple[Any, ...]) -> None:
         self._fmt = fmt
         self._values = values
-        self._buffer: bytes | None = None
-        self._refcount = 1
-        self._lock = threading.Lock()
+        self._buffer: bytes | None = None  # tbon: lock=_lock
+        self._refcount = 1  # tbon: lock=_lock
+        self._lock = make_lock("payload_ref")
         with GLOBAL_PACKET_STATS._lock:
             GLOBAL_PACKET_STATS.buffers_live += 1
 
@@ -161,7 +161,7 @@ class Packet:
         src: int = -1,
         hops: int = 0,
         _validated: bool = False,
-    ):
+    ) -> None:
         self.stream_id = int(stream_id)
         self.tag = int(tag)
         self.fmt = fmt

@@ -44,6 +44,7 @@ from functools import lru_cache
 from typing import Any, Callable, Sequence
 
 import numpy as np
+import numpy.typing as npt
 
 from .errors import FormatStringError, SerializationError
 
@@ -142,8 +143,8 @@ def _check_bytes(v: Any) -> bytes:
     raise SerializationError(f"%ac expects bytes, got {type(v).__name__}")
 
 
-def _check_array(dtype: np.dtype, code: str) -> Callable[[Any], np.ndarray]:
-    def check(v: Any) -> np.ndarray:
+def _check_array(dtype: np.dtype[Any], code: str) -> Callable[[Any], npt.NDArray[Any]]:
+    def check(v: Any) -> npt.NDArray[Any]:
         try:
             arr = np.ascontiguousarray(v, dtype=dtype)
         except (TypeError, ValueError) as exc:
@@ -155,7 +156,7 @@ def _check_array(dtype: np.dtype, code: str) -> Callable[[Any], np.ndarray]:
     return check
 
 
-def _check_matrix(v: Any) -> np.ndarray:
+def _check_matrix(v: Any) -> npt.NDArray[np.float64]:
     try:
         arr = np.ascontiguousarray(v, dtype=np.float64)
     except (TypeError, ValueError) as exc:
@@ -168,7 +169,7 @@ def _check_matrix(v: Any) -> np.ndarray:
 def _check_strlist(v: Any) -> list[str]:
     if not isinstance(v, (list, tuple)):
         raise SerializationError(f"%as expects a list of str, got {type(v).__name__}")
-    out = []
+    out: list[str] = []
     for item in v:
         if not isinstance(item, str):
             raise SerializationError(f"%as expects str items, got {type(item).__name__}")
@@ -192,14 +193,16 @@ def _unpack_len_bytes(buf: bytes, off: int) -> tuple[bytes, int]:
     return bytes(buf[off : off + n]), off + n
 
 
-def _pack_array(arr: np.ndarray) -> bytes:
+def _pack_array(arr: npt.NDArray[Any]) -> bytes:
     return _U32.pack(arr.shape[0]) + arr.tobytes()
 
 
-def _unpack_array(dtype: np.dtype) -> Callable[[bytes, int], tuple[np.ndarray, int]]:
+def _unpack_array(
+    dtype: np.dtype[Any],
+) -> Callable[[bytes, int], tuple[npt.NDArray[Any], int]]:
     itemsize = dtype.itemsize
 
-    def unpack(buf: bytes, off: int) -> tuple[np.ndarray, int]:
+    def unpack(buf: bytes, off: int) -> tuple[npt.NDArray[Any], int]:
         (n,) = _U32.unpack_from(buf, off)
         off += _U32.size
         nbytes = n * itemsize
@@ -211,12 +214,12 @@ def _unpack_array(dtype: np.dtype) -> Callable[[bytes, int], tuple[np.ndarray, i
     return unpack
 
 
-def _pack_matrix(arr: np.ndarray) -> bytes:
+def _pack_matrix(arr: npt.NDArray[np.float64]) -> bytes:
     rows, cols = arr.shape
     return _SHAPE2.pack(rows, cols) + arr.tobytes()
 
 
-def _unpack_matrix(buf: bytes, off: int) -> tuple[np.ndarray, int]:
+def _unpack_matrix(buf: bytes, off: int) -> tuple[npt.NDArray[np.float64], int]:
     rows, cols = _SHAPE2.unpack_from(buf, off)
     off += _SHAPE2.size
     nbytes = rows * cols * 8
@@ -236,7 +239,7 @@ def _pack_strlist(items: list[str]) -> bytes:
 def _unpack_strlist(buf: bytes, off: int) -> tuple[list[str], int]:
     (n,) = _U32.unpack_from(buf, off)
     off += _U32.size
-    out = []
+    out: list[str] = []
     for _ in range(n):
         raw, off = _unpack_len_bytes(buf, off)
         out.append(raw.decode("utf-8"))
@@ -386,7 +389,12 @@ class _FastPath:
 
     __slots__ = ("st", "checkers", "tail", "n")
 
-    def __init__(self, st: struct.Struct, checkers: tuple, tail: str | None):
+    def __init__(
+        self,
+        st: struct.Struct,
+        checkers: tuple[Callable[[Any], Any], ...],
+        tail: str | None,
+    ) -> None:
         self.st = st
         self.checkers = checkers
         self.tail = tail
@@ -520,7 +528,7 @@ def pack_payload(fmt: str, values: Sequence[Any]) -> bytes:
         raise SerializationError(
             f"format {fmt!r} expects {len(directives)} values, got {len(values)}"
         )
-    parts = []
+    parts: list[bytes] = []
     for d, v in zip(directives, values):
         parts.append(d.packer(d.checker(v)))
     return b"".join(parts)
@@ -536,7 +544,7 @@ def unpack_payload(fmt: str, data: bytes) -> tuple[Any, ...]:
     if fast is not None:
         return fast.unpack(fmt, data)
     directives = parse_format(fmt)
-    values = []
+    values: list[Any] = []
     off = 0
     for d in directives:
         try:

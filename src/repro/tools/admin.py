@@ -20,6 +20,7 @@ import threading
 from dataclasses import dataclass
 from typing import Any, Callable
 
+from ..analysis.locks import make_lock
 from ..core.errors import TBONError
 from ..core.events import FIRST_APPLICATION_TAG
 from ..core.network import Network
@@ -35,7 +36,7 @@ class TaskRegistry:
 
     def __init__(self) -> None:
         self._tasks: dict[str, Callable[..., str]] = {}
-        self._lock = threading.Lock()
+        self._lock = make_lock("task_registry")
 
     def register(self, name: str, fn: Callable[..., str]) -> None:
         with self._lock:

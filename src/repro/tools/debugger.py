@@ -24,7 +24,7 @@ from typing import Any
 
 import numpy as np
 
-from ..core.errors import TBONError
+from ..core.errors import ChannelClosedError, NetworkShutdownError, TBONError
 from ..core.events import FIRST_APPLICATION_TAG
 from ..core.network import Network
 from ..filters_ext.equivalence import EQUIVALENCE_FMT, EquivalenceClasses, classify
@@ -130,9 +130,9 @@ class ParallelDebugger:
                     pkt = be.recv(timeout=0.0, stream_id=self._var_stream.stream_id)
                 except TimeoutError:
                     continue
-                except Exception:
+                except (ChannelClosedError, NetworkShutdownError):
                     return
-            except Exception:
+            except (ChannelClosedError, NetworkShutdownError):
                 return  # shutdown
             if pkt.stream_id == self._stack_stream.stream_id:
                 cmd = pkt.values[0]
@@ -173,7 +173,7 @@ class ParallelDebugger:
     def close(self, timeout: float = 10.0) -> None:
         try:
             self._stack_stream.send(_TAG_CMD, "%s", "quit")
-        except Exception:
+        except Exception:  # tbon: allow-broad-except(best-effort quit during teardown; the stream or network may already be down)
             pass
         for t in self._threads:
             t.join(timeout)

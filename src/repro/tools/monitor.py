@@ -22,7 +22,7 @@ from typing import Callable
 
 import numpy as np
 
-from ..core.errors import TBONError
+from ..core.errors import ChannelClosedError, NetworkShutdownError, TBONError
 from ..core.events import FIRST_APPLICATION_TAG
 from ..core.network import Network
 
@@ -125,7 +125,7 @@ class ClusterMonitor:
                 pkt = be.recv(timeout=0.5, stream_id=self.avg_stream.stream_id)
             except TimeoutError:
                 continue
-            except Exception:
+            except (ChannelClosedError, NetworkShutdownError):
                 return  # network shut down
             if pkt.tag != _TAG_SAMPLE:
                 continue

@@ -25,11 +25,13 @@ path, not multi-host deployment (see DESIGN.md, out of scope).
 
 from __future__ import annotations
 
+import logging
 import socket
 import struct
 import threading
 from typing import Any, Sequence
 
+from ..analysis.locks import make_lock
 from ..core.errors import ChannelClosedError, TransportError
 from ..core.events import Direction, Envelope
 from ..core.packet import Packet
@@ -37,6 +39,8 @@ from ..core.topology import Topology
 from .base import Inbox, Transport
 
 __all__ = ["TCPTransport"]
+
+_LOG = logging.getLogger(__name__)
 
 _HDR = struct.Struct("<IBi")
 _RANK_HELLO = struct.Struct("<i")
@@ -64,12 +68,21 @@ def _recv_exact(sock: socket.socket, n: int) -> bytes:
 class _Connection:
     """One side of a TCP channel: framed writes plus a reader thread."""
 
-    def __init__(self, sock: socket.socket, inbox: Inbox, owner_rank: int):
+    def __init__(
+        self,
+        sock: socket.socket,
+        inbox: Inbox,
+        owner_rank: int,
+        closing: threading.Event | None = None,
+    ):
         self.sock = sock
         self.inbox = inbox
         self.owner_rank = owner_rank
-        self._wlock = threading.Lock()
+        self._wlock = make_lock("tcp_write")
         self._closed = threading.Event()
+        # Transport-wide teardown flag: during an orderly shutdown the
+        # peer's FIN may beat our own close(), and that is not an error.
+        self._transport_closing = closing or threading.Event()
         self.reader = threading.Thread(
             target=self._read_loop, name=f"tbon-tcp-read-{owner_rank}", daemon=True
         )
@@ -95,8 +108,14 @@ class _Connection:
                 self.inbox.put(
                     Envelope(src=src, direction=_CODE_DIR[dir_code], packet=packet)
                 )
-        except (ConnectionError, OSError, ChannelClosedError):
-            pass  # normal at shutdown
+        except (ConnectionError, OSError, ChannelClosedError) as exc:
+            # Expected when close() tore the connection down; anything
+            # else (peer crash, malformed frame killing from_bytes) must
+            # not vanish with the reader thread.
+            if not self._closed.is_set() and not self._transport_closing.is_set():
+                _LOG.warning(
+                    "tcp reader for rank %d terminated: %s", self.owner_rank, exc
+                )
 
     def send(self, src: int, direction: Direction, packet: Packet) -> None:
         self.send_frame(src, direction, packet.to_bytes())
@@ -134,6 +153,7 @@ class TCPTransport(Transport):
         # (owner_rank, peer_rank) -> connection used by owner to reach peer
         self._conns: dict[tuple[int, int], _Connection] = {}
         self._listeners: dict[int, socket.socket] = {}
+        self._closing = threading.Event()
 
     def bind(self, topology: Topology) -> None:
         if self.topology is not None:
@@ -160,7 +180,7 @@ class TCPTransport(Transport):
                     conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
                     (child,) = _RANK_HELLO.unpack(_recv_exact(conn, _RANK_HELLO.size))
                     self._conns[(rank, child)] = _Connection(
-                        conn, self._inboxes[rank], rank
+                        conn, self._inboxes[rank], rank, closing=self._closing
                     )
             except Exception as exc:  # surfaced after join
                 accept_errors.append(exc)
@@ -183,7 +203,7 @@ class TCPTransport(Transport):
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
             sock.sendall(_RANK_HELLO.pack(child))
             self._conns[(child, parent)] = _Connection(
-                sock, self._inboxes[child], child
+                sock, self._inboxes[child], child, closing=self._closing
             )
 
         for t in acceptors:
@@ -222,6 +242,7 @@ class TCPTransport(Transport):
             conn.send_frame(src, direction, body)
 
     def shutdown(self) -> None:
+        self._closing.set()
         for conn in self._conns.values():
             conn.close()
         for srv in self._listeners.values():

@@ -1,0 +1,50 @@
+"""tboncheck fixture: a file with zero findings.
+
+Exercises every rule family's happy path in one place; the test asserts
+the analysis returns nothing at all for this file.
+"""
+
+import threading
+
+from repro.core.filters import SynchronizationFilter, TransformationFilter
+from repro.core.packet import make_packet
+from repro.core.serialization import pack_payload
+
+
+class SumFilter(TransformationFilter):
+    def transform(self, packets, ctx):
+        total = sum(p.values[0] for p in packets)
+        return packets[0].with_values((total,))
+
+
+class WaveSync(SynchronizationFilter):
+    timed = True
+
+    def push(self, packet, child, ctx):
+        return [[packet]]
+
+    def next_deadline(self):
+        return None
+
+    def on_timer(self, now, ctx):
+        return []
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._value = 0  # tbon: lock=_lock
+
+    def bump(self):
+        with self._lock:
+            self._value += 1
+
+
+def send_wave(be):
+    pkt = make_packet(4, 100, "%d %f", 1, 2.5)
+    buf = pack_payload("%d %s", (7, "ok"))
+    try:
+        be.send(4, 100, "%d", 1)
+    except ValueError as exc:
+        raise RuntimeError("send failed") from exc
+    return pkt, buf

@@ -1,0 +1,77 @@
+"""tboncheck fixture: TB4xx exception-hygiene rules and TB002 pragmas.
+
+Never imported — only parsed.  See fx_wire_format.py for the marker
+conventions.
+"""
+
+import logging
+
+_LOG = logging.getLogger(__name__)
+
+
+def work():
+    raise ValueError("boom")
+
+
+def swallows_broad():
+    try:
+        work()
+    except Exception:  # expect: TB402
+        pass
+
+
+def swallows_tuple():
+    try:
+        work()
+    except (ValueError, Exception):  # expect: TB402
+        pass
+
+
+def swallows_bare():
+    try:
+        work()
+    except:  # expect: TB401
+        pass
+
+
+def allowed():
+    try:
+        work()
+    except Exception:  # tbon: allow-broad-except(fixture demonstrates suppression)
+        pass
+
+
+def reports_via_logger():
+    try:
+        work()
+    except Exception:
+        _LOG.warning("work failed")
+
+
+def reports_via_bound_name():
+    try:
+        work()
+    except Exception as exc:
+        record = {"error": exc}
+        return record
+
+
+def reraises():
+    try:
+        work()
+    except Exception:
+        raise
+
+
+def narrow_is_fine():
+    try:
+        work()
+    except ValueError:
+        pass
+
+
+def bad_pragmas():
+    x = 1  # expect: TB002  # tbon: allow-broad-except()
+    y = 2  # expect: TB002  # tbon: frobnicate
+    z = 3  # expect: TB002  # tbon: ignore[TB999]
+    return x, y, z

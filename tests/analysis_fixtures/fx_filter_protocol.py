@@ -1,0 +1,75 @@
+"""tboncheck fixture: TB2xx filter-protocol and mutation-contract rules.
+
+Never imported — only parsed.  See fx_wire_format.py for the marker
+conventions.
+"""
+
+from repro.core.filters import SynchronizationFilter, TransformationFilter
+
+
+class GoodTransform(TransformationFilter):
+    def transform(self, packets, ctx):
+        return packets[0]
+
+
+class GoodExec(TransformationFilter):
+    def execute(self, packets, ctx):
+        return list(packets)
+
+
+class InheritsTransform(GoodTransform):
+    """transform() comes from GoodTransform — no finding."""
+
+    extra = 1
+
+
+class MissingTransform(TransformationFilter):  # expect: TB201
+    def helper(self):
+        return None
+
+
+class GoodSync(SynchronizationFilter):
+    def push(self, packet, child, ctx):
+        return [[packet]]
+
+
+class MissingPush(SynchronizationFilter):  # expect: TB202
+    """No push() anywhere in the chain below the root."""
+
+
+class UntimedTimer(SynchronizationFilter):  # expect: TB203
+    def push(self, packet, child, ctx):
+        return []
+
+    def next_deadline(self):
+        return 1.0
+
+
+class TimedOK(SynchronizationFilter):
+    timed = True
+
+    def push(self, packet, child, ctx):
+        return []
+
+    def on_timer(self, now, ctx):
+        return []
+
+
+class TimedViaBase(TimedOK):
+    """timed = True and push() both inherited — no finding."""
+
+    def on_timer(self, now, ctx):
+        return []
+
+
+def mutate(pkt, other):
+    pkt.tag = 3  # expect: TB204
+    pkt.hops += 1  # expect: TB204
+    other.payload = b""  # expect: TB204
+    pkt.src = 0  # tbon: ignore[TB204]
+
+
+class NotAPacket:
+    def __init__(self):
+        self.tag = 1  # writes through self are exempt
+        self.hops = 0

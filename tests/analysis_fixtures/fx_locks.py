@@ -1,0 +1,47 @@
+"""tboncheck fixture: TB3xx lock-discipline rules.
+
+Never imported — only parsed.  See fx_wire_format.py for the marker
+conventions.
+"""
+
+import threading
+
+
+class Buffer:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = []  # tbon: lock=_lock
+        self._count = 0  # tbon: lock=_lock
+
+    def add(self, item):
+        with self._lock:
+            self._items = self._items + [item]
+            self._count += 1
+
+    def bad_reset(self):
+        self._items = []  # expect: TB301
+
+    def bad_count(self):
+        self._count += 1  # expect: TB301
+
+    def deliberate_reset(self):
+        self._items = []  # tbon: lock-free(called before worker threads start)
+
+    def unguarded_other(self, x):
+        self.extra = x  # no lock= declaration: not checked
+
+
+class WrongWith:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._other = threading.Lock()
+        self._state = 0  # tbon: lock=_lock
+
+    def update(self):
+        with self._other:
+            self._state = 1  # expect: TB301
+
+
+class Orphan:
+    def __init__(self):
+        self.data = 0  # expect: TB302  # tbon: lock=_missing

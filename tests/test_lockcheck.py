@@ -1,0 +1,194 @@
+"""Tests for the runtime lock-order and guarded-attribute harness.
+
+Each test uses a private :class:`LockOrderMonitor` so recorded edges
+never leak between tests (or into the process-wide monitor that a
+``TBON_LOCKCHECK=1`` tier-1 run uses).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.analysis.locks import (
+    ENV_VAR,
+    GuardedAccessError,
+    GuardedBy,
+    LockOrderError,
+    LockOrderMonitor,
+    TrackedLock,
+    lockcheck_enabled,
+    make_lock,
+)
+
+
+def tracked_pair(monitor):
+    return (
+        TrackedLock("a", monitor=monitor),
+        TrackedLock("b", monitor=monitor),
+    )
+
+
+def test_consistent_order_is_silent():
+    mon = LockOrderMonitor()
+    a, b = tracked_pair(mon)
+    for _ in range(3):
+        with a:
+            with b:
+                pass
+    assert mon.edges() == {"a": {"b"}}
+
+
+def test_inverted_order_across_threads_raises():
+    mon = LockOrderMonitor()
+    a, b = tracked_pair(mon)
+    errors: list[BaseException] = []
+
+    def forward():
+        with a:
+            with b:
+                pass
+
+    def inverted():
+        try:
+            with b:
+                with a:
+                    pass
+        except LockOrderError as exc:
+            errors.append(exc)
+
+    t1 = threading.Thread(target=forward)
+    t1.start()
+    t1.join()
+    t2 = threading.Thread(target=inverted)
+    t2.start()
+    t2.join()
+
+    assert len(errors) == 1
+    assert "a" in str(errors[0]) and "b" in str(errors[0])
+
+
+def test_cycle_detection_through_intermediate_lock():
+    mon = LockOrderMonitor()
+    a = TrackedLock("a", monitor=mon)
+    b = TrackedLock("b", monitor=mon)
+    c = TrackedLock("c", monitor=mon)
+    with a:
+        with b:
+            pass
+    with b:
+        with c:
+            pass
+    with pytest.raises(LockOrderError):
+        with c:
+            with a:
+                pass
+
+
+def test_failed_tracked_acquire_releases_inner_lock():
+    """When the monitor raises, the underlying lock must not stay held."""
+    mon = LockOrderMonitor()
+    a, b = tracked_pair(mon)
+    with a:
+        with b:
+            pass
+    try:
+        with b:
+            with a:
+                pass
+    except LockOrderError:
+        pass
+    # The inversion above must not leave 'a' locked.
+    assert a.acquire(blocking=False)
+    a.release()
+
+
+def test_reentrant_lock_no_self_edge():
+    mon = LockOrderMonitor()
+    r = TrackedLock("r", reentrant=True, monitor=mon)
+    with r:
+        with r:
+            assert mon.holds(r)
+    assert mon.edges() == {}
+    assert not mon.holds(r)
+
+
+def test_tracked_lock_backs_a_condition():
+    mon = LockOrderMonitor()
+    cond = threading.Condition(TrackedLock("cond", monitor=mon))
+    results = []
+
+    def waiter():
+        with cond:
+            while not results:
+                cond.wait(timeout=1.0)
+
+    t = threading.Thread(target=waiter)
+    t.start()
+    with cond:
+        results.append(1)
+        cond.notify_all()
+    t.join(timeout=2.0)
+    assert not t.is_alive()
+
+
+def test_guarded_by_enforces_lock_ownership():
+    mon = LockOrderMonitor()
+
+    class Counter:
+        value = GuardedBy("_lock")
+
+        def __init__(self):
+            self._lock = TrackedLock("counter", monitor=mon)
+            with self._lock:
+                self.value = 0
+
+    c = Counter()
+    with pytest.raises(GuardedAccessError):
+        c.value = 5
+    with pytest.raises(GuardedAccessError):
+        _ = c.value
+    with c._lock:
+        c.value = 5
+        assert c.value == 5
+
+
+def test_guarded_by_degrades_with_plain_lock():
+    class Counter:
+        value = GuardedBy("_lock")
+
+        def __init__(self):
+            self._lock = threading.Lock()
+            self.value = 0
+
+    c = Counter()
+    c.value = 7  # plain lock: ownership unknowable, no enforcement
+    assert c.value == 7
+
+
+def test_make_lock_env_gating(monkeypatch):
+    monkeypatch.delenv(ENV_VAR, raising=False)
+    assert not lockcheck_enabled()
+    plain = make_lock("plain")
+    assert not isinstance(plain, TrackedLock)
+    with plain:
+        pass
+
+    monkeypatch.setenv(ENV_VAR, "1")
+    assert lockcheck_enabled()
+    tracked = make_lock("tracked", monitor=LockOrderMonitor())
+    assert isinstance(tracked, TrackedLock)
+    with tracked:
+        pass
+
+    monkeypatch.setenv(ENV_VAR, "0")
+    assert not lockcheck_enabled()
+
+
+def test_held_names_reports_outermost_first():
+    mon = LockOrderMonitor()
+    a, b = tracked_pair(mon)
+    with a, b:
+        assert mon.held_names() == ("a", "b")
+    assert mon.held_names() == ()

@@ -1,0 +1,183 @@
+"""Tests for the ``tboncheck`` static-analysis subsystem.
+
+Fixture files under ``tests/analysis_fixtures/`` carry ``# expect:``
+markers naming the rule(s) each line must trigger; the tests compare the
+analysis output against those markers exactly, so every rule is covered
+for true positives, true negatives, and pragma suppression in one sweep.
+The zero-findings gate over ``src/`` is what CI enforces.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+
+import pytest
+
+from repro.analysis.engine import analyze_paths, iter_python_files
+from repro.analysis.findings import RULES, parse_pragmas
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+FIXTURES = os.path.join(HERE, "analysis_fixtures")
+SRC = os.path.join(os.path.dirname(HERE), "src", "repro")
+
+_EXPECT_RE = re.compile(r"#\s*expect:\s*(?P<rules>TB\d{3}(?:\s*,\s*TB\d{3})*)")
+
+
+def expected_findings(path: str) -> set[tuple[int, str]]:
+    """(line, rule) pairs declared by ``# expect:`` markers in a fixture."""
+    out: set[tuple[int, str]] = set()
+    with open(path, encoding="utf-8") as fh:
+        for lineno, text in enumerate(fh, start=1):
+            m = _EXPECT_RE.search(text)
+            if m:
+                for rule in m.group("rules").split(","):
+                    out.add((lineno, rule.strip()))
+    return out
+
+
+def actual_findings(path: str) -> set[tuple[int, str]]:
+    return {(f.line, f.rule) for f in analyze_paths([path]).findings}
+
+
+@pytest.mark.parametrize(
+    "fixture",
+    ["fx_wire_format.py", "fx_filter_protocol.py", "fx_locks.py", "fx_excepts.py"],
+)
+def test_fixture_findings_match_markers(fixture):
+    path = os.path.join(FIXTURES, fixture)
+    expected = expected_findings(path)
+    assert expected, f"{fixture} declares no expectations — marker drift?"
+    assert actual_findings(path) == expected
+
+
+def test_clean_fixture_has_zero_findings():
+    path = os.path.join(FIXTURES, "fx_clean.py")
+    result = analyze_paths([path])
+    assert result.ok, result.render()
+
+
+def test_src_tree_is_clean():
+    """The gate CI enforces: the code base itself has zero findings."""
+    result = analyze_paths([SRC])
+    assert result.files_analyzed > 30
+    assert result.ok, result.render()
+
+
+def test_every_rule_has_fixture_coverage():
+    """Each non-infrastructure rule fires somewhere in the fixture set."""
+    covered = set()
+    for name in os.listdir(FIXTURES):
+        if name.endswith(".py"):
+            covered |= {r for _, r in expected_findings(os.path.join(FIXTURES, name))}
+    assert covered == set(RULES) - {"TB001"}  # TB001 is exercised via tmp_path
+
+
+def test_syntax_error_reports_tb001(tmp_path):
+    bad = tmp_path / "broken.py"
+    bad.write_text("def nope(:\n")
+    result = analyze_paths([str(bad)])
+    assert [f.rule for f in result.findings] == ["TB001"]
+
+
+def test_iter_python_files_skips_hidden_and_pycache(tmp_path):
+    (tmp_path / "pkg").mkdir()
+    (tmp_path / "pkg" / "a.py").write_text("x = 1\n")
+    (tmp_path / "pkg" / "__pycache__").mkdir()
+    (tmp_path / "pkg" / "__pycache__" / "a.py").write_text("x = 1\n")
+    (tmp_path / ".hidden").mkdir()
+    (tmp_path / ".hidden" / "b.py").write_text("x = 1\n")
+    files = iter_python_files([str(tmp_path)])
+    assert files == [str(tmp_path / "pkg" / "a.py")]
+
+
+# -- pragma parsing ----------------------------------------------------------
+
+
+def test_pragma_lock_and_ignore():
+    table = parse_pragmas(
+        "x = 1  # tbon: lock=_mu\n"
+        "y = 2  # tbon: ignore[TB101,TB204]\n"
+        "z = 3  # tbon: ignore[*]\n"
+    )
+    assert table.lock_name(1) == "_mu"
+    assert table.suppressed("TB101", 2) and table.suppressed("TB204", 2)
+    assert not table.suppressed("TB102", 2)
+    assert table.suppressed("TB402", 3)
+    assert not table.errors
+
+
+def test_pragma_reason_required():
+    table = parse_pragmas("try:\n    pass\nexcept Exception:  # tbon: allow-broad-except()\n    pass\n")
+    assert len(table.errors) == 1
+    assert "reason" in table.errors[0][1]
+
+
+def test_pragma_inside_string_is_not_a_pragma():
+    table = parse_pragmas('s = "# tbon: ignore[*]"\n')
+    assert not table.by_line and not table.errors
+
+
+# -- CLI ---------------------------------------------------------------------
+
+
+def run_cli(*argv: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ, PYTHONPATH=os.path.join(os.path.dirname(HERE), "src"))
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", "tboncheck", *argv],
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+
+
+def test_cli_flags_violations_with_rule_and_location():
+    path = os.path.join(FIXTURES, "fx_excepts.py")
+    proc = run_cli(path)
+    assert proc.returncode == 1
+    assert "TB402" in proc.stdout and "TB401" in proc.stdout
+    assert re.search(r"fx_excepts\.py:\d+:\d+: TB4\d\d", proc.stdout)
+
+
+def test_cli_clean_path_exits_zero():
+    proc = run_cli(os.path.join(FIXTURES, "fx_clean.py"))
+    assert proc.returncode == 0, proc.stdout
+
+
+def test_cli_list_rules():
+    proc = run_cli("--list-rules")
+    assert proc.returncode == 0
+    for rule in RULES:
+        assert rule in proc.stdout
+
+
+def test_cli_no_paths_is_usage_error():
+    proc = run_cli()
+    assert proc.returncode == 2
+
+
+# -- mypy (CI installs it; skipped where unavailable) ------------------------
+
+
+def test_mypy_strict_modules():
+    pytest.importorskip("mypy")
+    root = os.path.dirname(HERE)
+    proc = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "mypy",
+            "--config-file",
+            os.path.join(root, "pyproject.toml"),
+            os.path.join(root, "src", "repro", "analysis"),
+            os.path.join(root, "src", "repro", "core", "packet.py"),
+            os.path.join(root, "src", "repro", "core", "serialization.py"),
+            os.path.join(root, "src", "repro", "core", "filters.py"),
+        ],
+        capture_output=True,
+        text=True,
+        cwd=root,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
