@@ -37,6 +37,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.bench.harness import instrument_capture  # noqa: E402
 from repro.core.events import Direction, Envelope, StreamSpec, CONTROL_STREAM_ID, TAG_STREAM_CREATE  # noqa: E402
 from repro.core.filter_registry import default_registry  # noqa: E402
 from repro.core.node import NodeRunner  # noqa: E402
@@ -297,12 +298,14 @@ def main() -> None:
     # 1. fanout-16 node throughput, batched loop vs legacy loop.
     waves = 200 if q else 3000
     legacy_pps = bench_node_throughput(16, waves, legacy=True)
-    fast_pps = bench_node_throughput(16, waves, legacy=False)
+    with instrument_capture() as cap:
+        fast_pps = bench_node_throughput(16, waves, legacy=False)
     results["node_fanout16"] = {
         "waves": waves,
         "legacy_pps": legacy_pps,
         "fast_pps": fast_pps,
         "speedup": fast_pps / legacy_pps,
+        "telemetry": cap.as_dict(),
     }
     print(
         f"node fanout=16: {legacy_pps:,.0f} -> {fast_pps:,.0f} pkt/s "
@@ -310,7 +313,9 @@ def main() -> None:
     )
 
     # 2. TCP frame round-trip.
-    rt = bench_tcp_roundtrip(100 if q else 2000, bytes(64))
+    with instrument_capture() as cap:
+        rt = bench_tcp_roundtrip(100 if q else 2000, bytes(64))
+    rt["telemetry"] = cap.as_dict()
     results["tcp_roundtrip_64B"] = rt
     print(
         f"tcp roundtrip 64B: {rt['roundtrips_per_sec']:,.0f} rt/s "
@@ -320,12 +325,14 @@ def main() -> None:
     # 3. fanout-16 TCP multicast amplification (the headline number).
     n, reps = (50, 3) if q else (150, 7)
     legacy_pps = bench_multicast("tcp", 16, 64, n, legacy=True, repeats=reps)
-    fast_pps = bench_multicast("tcp", 16, 64, n, legacy=False, repeats=reps)
+    with instrument_capture() as cap:
+        fast_pps = bench_multicast("tcp", 16, 64, n, legacy=False, repeats=reps)
     results["multicast_fanout16_tcp_64B"] = {
         "iters": n,
         "legacy_pps": legacy_pps,
         "fast_pps": fast_pps,
         "speedup": fast_pps / legacy_pps,
+        "telemetry": cap.as_dict(),
     }
     print(
         f"tcp multicast fanout=16 64B: {legacy_pps:,.0f} -> {fast_pps:,.0f} pkt/s "

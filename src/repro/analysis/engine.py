@@ -24,6 +24,9 @@ __all__ = ["AnalysisResult", "analyze_paths", "iter_python_files", "main"]
 #: The one module allowed to mutate Packet frame internals (hop(), memo).
 _PACKET_MODULE = os.path.join("core", "packet.py")
 
+#: The package whose Registry legitimately constructs instrument classes.
+_TELEMETRY_PACKAGE = os.path.join("repro", "telemetry") + os.sep
+
 
 @dataclass
 class AnalysisResult:
@@ -89,6 +92,7 @@ def analyze_paths(paths: list[str]) -> AnalysisResult:
                 pragma_tables[path],
                 index,
                 skip_packet_mutation=path.endswith(_PACKET_MODULE),
+                skip_telemetry_instruments=_TELEMETRY_PACKAGE in path,
             )
         )
     result.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))

@@ -51,6 +51,7 @@ RULES: dict[str, str] = {
     "TB302": "'# tbon: lock=<name>' names a lock attribute the class never assigns",
     "TB401": "bare 'except:' swallows everything including KeyboardInterrupt",
     "TB402": "broad 'except Exception' swallows the error without reporting it",
+    "TB501": "telemetry instrument instantiated directly instead of through a Registry",
 }
 
 _PRAGMA_RE = re.compile(r"#\s*tbon:\s*(?P<body>.*\S)\s*$")

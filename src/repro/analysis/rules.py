@@ -34,6 +34,11 @@ but a generic linter cannot see:
   ``node.error``/logging, never vanish in a broad ``except``.  A
   handler that binds and uses the exception, re-raises, or calls a
   logger counts as reporting; ``except Exception: pass`` does not.
+* **TB5xx — telemetry discipline.**  Instruments must be created
+  through a :class:`repro.telemetry.registry.Registry` (its keyed
+  get-or-create store is what ``snapshot()`` serializes); a directly
+  constructed ``Counter``/``Gauge``/``Histogram`` records data the
+  in-tree stats reduction can never see.
 """
 
 from __future__ import annotations
@@ -330,6 +335,8 @@ class _WireFormatVisitor(ast.NodeVisitor):
 # -- TB2xx: filter protocol -----------------------------------------------------
 
 #: Packet attributes frozen after construction (docs/PROTOCOL.md §5).
+#: ``trace`` has a sanctioned mutator (``Packet.attach_trace``, which
+#: invalidates the frame memo); direct assignment is still a violation.
 _PACKET_FROZEN_ATTRS = frozenset(
     {
         "stream_id",
@@ -339,6 +346,7 @@ _PACKET_FROZEN_ATTRS = frozenset(
         "hops",
         "seq",
         "payload",
+        "trace",
         "_values",
         "_ref",
         "_frame",
@@ -643,6 +651,73 @@ class _ExceptionVisitor(ast.NodeVisitor):
         self.generic_visit(node)
 
 
+# -- TB5xx: telemetry discipline ---------------------------------------------------
+
+_INSTRUMENT_CLASSES = frozenset({"Counter", "Gauge", "Histogram"})
+
+
+class _TelemetryInstrumentVisitor(ast.NodeVisitor):
+    """TB501: instrument classes constructed outside a Registry.
+
+    A ``Counter``/``Gauge``/``Histogram`` built directly bypasses the
+    registry's keyed get-or-create store: it never appears in
+    ``snapshot()``, so the in-tree stats reduction and ``repro.cli
+    stats`` silently miss everything it records.  Only calls to names
+    provably imported from a ``telemetry`` module are flagged —
+    ``collections.Counter`` and friends stay out of scope.
+    """
+
+    def __init__(self, path: str, findings: list[Finding]) -> None:
+        self.path = path
+        self.findings = findings
+        self._instrument_aliases: dict[str, str] = {}  # local name -> class
+        self._module_aliases: set[str] = set()  # aliases of telemetry modules
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        module = node.module or ""
+        if "telemetry" in module.split("."):
+            for alias in node.names:
+                if alias.name in _INSTRUMENT_CLASSES:
+                    self._instrument_aliases[alias.asname or alias.name] = alias.name
+        self.generic_visit(node)
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if "telemetry" in alias.name.split("."):
+                # `import repro.telemetry.registry as reg` -> reg.Counter(...)
+                self._module_aliases.add(alias.asname or alias.name.split(".")[0])
+        self.generic_visit(node)
+
+    def _flag(self, node: ast.Call, cls: str) -> None:
+        self.findings.append(
+            Finding(
+                "TB501",
+                self.path,
+                node.lineno,
+                node.col_offset + 1,
+                f"{cls} instantiated directly; instruments must come from a "
+                "Registry (registry.counter()/gauge()/histogram()) or they "
+                "never appear in snapshot() and the in-tree stats reduction "
+                "silently drops their data",
+            )
+        )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        fn = node.func
+        if isinstance(fn, ast.Name):
+            cls = self._instrument_aliases.get(fn.id)
+            if cls is not None:
+                self._flag(node, cls)
+        elif (
+            isinstance(fn, ast.Attribute)
+            and fn.attr in _INSTRUMENT_CLASSES
+            and isinstance(fn.value, ast.Name)
+            and fn.value.id in self._module_aliases
+        ):
+            self._flag(node, fn.attr)
+        self.generic_visit(node)
+
+
 # -- entry point ----------------------------------------------------------------
 
 
@@ -653,12 +728,15 @@ def analyze_module(
     index: ClassIndex,
     *,
     skip_packet_mutation: bool = False,
+    skip_telemetry_instruments: bool = False,
 ) -> list[Finding]:
     """Run every rule over one parsed module; returns unsuppressed findings.
 
     ``skip_packet_mutation`` exempts :mod:`repro.core.packet` itself —
     the one module allowed to touch frame internals (``hop()``, the
-    memo fields).
+    memo fields).  ``skip_telemetry_instruments`` exempts the
+    :mod:`repro.telemetry` package, where the Registry's get-or-create
+    paths legitimately construct the instrument classes.
     """
     findings: list[Finding] = []
     for line, message in pragmas.errors:
@@ -669,4 +747,6 @@ def analyze_module(
         _PacketMutationVisitor(path, findings).visit(tree)
     _LockDisciplineVisitor(path, pragmas, findings).visit(tree)
     _ExceptionVisitor(path, findings).visit(tree)
+    if not skip_telemetry_instruments:
+        _TelemetryInstrumentVisitor(path, findings).visit(tree)
     return [f for f in findings if not pragmas.suppressed(f.rule, f.line)]

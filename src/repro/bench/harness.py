@@ -7,6 +7,7 @@ and EXPERIMENTS.md records their printed tables.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -20,6 +21,13 @@ from ..simulate.workload import (
     meanshift_sim,
     paradyn_report_stream,
 )
+from ..telemetry.registry import (
+    GLOBAL,
+    Registry,
+    TELEMETRY,
+    empty_snapshot,
+    snapshot_delta,
+)
 from ..tools.profiler import simulate_startup
 from .reporting import SeriesTable, fmt_seconds
 
@@ -30,7 +38,60 @@ __all__ = [
     "run_nodecost_table",
     "run_logscale_table",
     "Fig4Result",
+    "instrument_capture",
 ]
+
+
+class instrument_capture:
+    """Wall time + telemetry instrument deltas around a benchmark section.
+
+    Benchmarks wrap their timed workloads in this so their recorded JSON
+    carries instrument deltas (packets, bytes, frame-cache hits) next to
+    the timings — the numbers that explain *why* a timing moved::
+
+        with instrument_capture() as cap:
+            run_workload()
+        results["telemetry"] = cap.as_dict()
+
+    Captures the process-wide :data:`~repro.telemetry.registry.GLOBAL`
+    registry by default; pass a node's or back-end's own ``Registry`` to
+    scope the delta.  With telemetry disabled the delta is empty and
+    ``as_dict()`` reports ``{"enabled": False}`` — the capture itself
+    never enables instrumentation, so disabled benchmarks measure the
+    true disabled fast path.
+    """
+
+    def __init__(self, registry: Registry | None = None) -> None:
+        self.registry = GLOBAL if registry is None else registry
+        self.elapsed = 0.0
+        self.delta: dict = empty_snapshot()
+        self.enabled = False
+
+    def __enter__(self) -> "instrument_capture":
+        self.enabled = TELEMETRY.enabled
+        self._before = self.registry.snapshot()
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.elapsed = time.perf_counter() - self._t0
+        self.delta = snapshot_delta(self._before, self.registry.snapshot())
+
+    def counter(self, key: str) -> int:
+        """Delta of one counter by full key (``name{label="v"}``)."""
+        return int(self.delta["counters"].get(key, 0))
+
+    def as_dict(self) -> dict:
+        """JSON-friendly summary: counter deltas + histogram (count, sum)."""
+        return {
+            "enabled": self.enabled,
+            "elapsed_s": self.elapsed,
+            "counters": dict(self.delta["counters"]),
+            "histograms": {
+                key: {"count": h["count"], "sum": h["sum"]}
+                for key, h in self.delta["histograms"].items()
+            },
+        }
 
 
 @dataclass

@@ -16,6 +16,10 @@ Commands:
 * ``tboncheck``   — TBON-aware static analysis (wire formats, filter
   protocol, serialize-once contract, lock discipline, exception
   hygiene); see docs/ANALYSIS.md.
+* ``stats``       — live telemetry demo: run reduction waves on a real
+  tree, gather every node's metrics registry up the tree and print the
+  aggregate (Prometheus text + JSON) plus a sampled causal trace; see
+  docs/OBSERVABILITY.md.
 """
 
 from __future__ import annotations
@@ -146,6 +150,91 @@ def _cmd_topology(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from .core.events import FIRST_APPLICATION_TAG
+    from .core.network import Network
+    from .core.topology import balanced_topology
+    from .telemetry import (
+        enable as telemetry_enable,
+        format_trace,
+        merge_snapshots,
+        set_trace_sampling,
+        to_json,
+        to_prometheus,
+    )
+
+    telemetry_enable()
+    set_trace_sampling(1.0)
+    topo = balanced_topology(args.fanout, args.depth)
+    print(f"# live telemetry gather on {topo} over {args.transport}, "
+          f"{args.waves} sum waves")
+    traces = []
+    with Network(topo, transport=args.transport) as net:
+        s = net.new_stream(transform="sum", sync="wait_for_all")
+
+        def leaf(be):
+            be.wait_for_stream(s.stream_id)
+            for wave in range(args.waves):
+                be.send(s.stream_id, FIRST_APPLICATION_TAG, "%d", wave + 1)
+
+        threads = net.run_backends(leaf, join=False)
+        for _ in range(args.waves):
+            pkt = s.recv(timeout=60)
+            if pkt.trace is not None:
+                traces.append(pkt.trace)
+        for t in threads:
+            t.join(30)
+
+        aggregated = net.telemetry_snapshot()
+        local = merge_snapshots(
+            [n.telemetry.snapshot() for n in net.nodes.values()]
+            + [be.telemetry.snapshot() for be in net.backends]
+        )
+        errors = net.node_errors()
+
+    if args.format in ("prom", "both"):
+        print("\n== aggregated snapshot (Prometheus text) ==")
+        print(to_prometheus(aggregated))
+    if args.format in ("json", "both"):
+        print("\n== aggregated snapshot (JSON) ==")
+        print(to_json(aggregated))
+    if traces:
+        print("\n== sampled causal trace (critical path of one wave) ==")
+        print(format_trace(traces[0]))
+
+    # The root's aggregate must equal the flat sum of every per-node
+    # registry — the associativity property the in-tree reduction relies on.
+    ok = True
+    if errors:
+        print(f"\nnode errors: {errors}")
+        ok = False
+    if aggregated["counters"] != local["counters"]:
+        print("\nMISMATCH: tree-aggregated counters != flat per-node sum")
+        for key in sorted(set(aggregated["counters"]) | set(local["counters"])):
+            a = aggregated["counters"].get(key, 0)
+            b = local["counters"].get(key, 0)
+            if a != b:
+                print(f"  {key}: aggregated={a} flat_sum={b}")
+        ok = False
+    else:
+        up_in = aggregated["counters"].get(
+            'tbon_node_packets_total{direction="up",point="in"}', 0
+        )
+        print(f"\ncheck: tree aggregate == flat per-node sum over "
+              f"{len(aggregated['sources'])} sources "
+              f"({len(aggregated['counters'])} counters; e.g. "
+              f"up/in packets = {up_in}): OK")
+    for tr in traces:
+        ts = [t for hop in tr.hops for t in (hop.t_in, hop.t_out)]
+        if ts != sorted(ts):
+            print(f"check: trace {tr.trace_id:#x} hop timestamps decrease: FAIL")
+            ok = False
+    if traces:
+        print(f"check: {len(traces)} sampled trace(s), hop timestamps "
+              f"non-decreasing: {'OK' if ok else 'FAIL'}")
+    return 0 if ok else 1
+
+
 def _cmd_tboncheck(args: argparse.Namespace) -> int:
     from .analysis.engine import main as tboncheck_main
 
@@ -196,6 +285,16 @@ def build_parser() -> argparse.ArgumentParser:
     tg.add_argument("--fanout", type=int, default=4)
     tg.add_argument("--depth", type=int)
     tg.set_defaults(fn=_cmd_topology)
+
+    ss = sub.add_parser(
+        "stats", help="live telemetry gather demo (docs/OBSERVABILITY.md)"
+    )
+    ss.add_argument("--fanout", type=int, default=3)
+    ss.add_argument("--depth", type=int, default=2)
+    ss.add_argument("--waves", type=int, default=3)
+    ss.add_argument("--transport", choices=["tcp", "thread"], default="tcp")
+    ss.add_argument("--format", choices=["prom", "json", "both"], default="both")
+    ss.set_defaults(fn=_cmd_stats)
 
     tc = sub.add_parser(
         "tboncheck", help="TBON-aware static analysis (docs/ANALYSIS.md)"

@@ -16,6 +16,8 @@ import time
 from typing import Any
 
 from ..analysis.locks import make_lock
+from ..telemetry.registry import Registry, TELEMETRY as _TEL
+from ..telemetry.trace import TRACER as _TRACER, TraceContext
 from .errors import (
     ChannelClosedError,
     NetworkShutdownError,
@@ -31,6 +33,7 @@ from .events import (
     TAG_SHUTDOWN,
     TAG_STREAM_CLOSE,
     TAG_STREAM_CREATE,
+    TAG_TELEMETRY,
     TAG_TOPOLOGY_ATTACH,
 )
 from .packet import Packet
@@ -64,6 +67,15 @@ class BackEnd:
         self._stream_events: dict[int, threading.Event] = {}
         self._lock = make_lock("backend_state")
         self._shutdown = threading.Event()
+        # Per-endpoint telemetry registry; aggregated by the in-tree
+        # stats reduction together with the internal nodes' registries.
+        self.telemetry = Registry(f"backend-{rank}")
+        self._m_sent = self.telemetry.counter(
+            "tbon_backend_packets_total", {"direction": "sent"}
+        )
+        self._m_received = self.telemetry.counter(
+            "tbon_backend_packets_total", {"direction": "received"}
+        )
         self._thread = threading.Thread(
             target=self._listen, name=f"tbon-backend-{rank}", daemon=True
         )
@@ -83,6 +95,8 @@ class BackEnd:
             if packet.stream_id == CONTROL_STREAM_ID:
                 self._handle_control(packet)
             else:
+                if _TEL.enabled:
+                    self._m_received.inc()
                 with self._cond:
                     self._per_stream.setdefault(packet.stream_id, []).append(packet)
                     self._arrivals.append(packet.stream_id)
@@ -120,6 +134,17 @@ class BackEnd:
             (new_topo,) = packet.values
             self.topology = new_topo
             self._parent = new_topo.parent(self.rank)
+        elif packet.tag == TAG_TELEMETRY:
+            # In-tree stats reduction: answer with this leaf's registry
+            # snapshot; parents merge it on the way up (PROTOCOL.md §4).
+            (req_id,) = packet.values
+            reply = Packet(
+                CONTROL_STREAM_ID,
+                TAG_TELEMETRY,
+                "%d %o",
+                (req_id, self.telemetry.snapshot()),
+            )
+            self.transport.send(self.rank, self._parent, Direction.UPSTREAM, reply)
         elif packet.tag == TAG_SHUTDOWN:
             self._shutdown.set()
         # Other control traffic (filter loads...) needs no back-end action.
@@ -162,6 +187,12 @@ class BackEnd:
                     "wait_for_stream() first"
                 )
         pkt = Packet(stream_id, tag, fmt, values, src=self.rank)
+        if _TEL.enabled:
+            self._m_sent.inc()
+            if _TRACER.sample():
+                # Start a sampled causal trace: the "send" hop anchors
+                # t=0 for the wave's critical-path attribution.
+                pkt.attach_trace(TraceContext.start(self.rank, time.monotonic()))
         self.transport.send(self.rank, self._parent, Direction.UPSTREAM, pkt)
 
     def send_p2p(self, dst_rank: int, tag: int, fmt: str, *values: Any) -> None:

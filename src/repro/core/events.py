@@ -5,6 +5,27 @@ data: control packets use the reserved stream id 0 and tags below
 :data:`FIRST_APPLICATION_TAG`.  Communication processes interpret these
 packets to build per-stream routing state, load filters dynamically, and
 shut the tree down; everything else is forwarded untouched.
+
+Reserved control tags (keep in sync with the constants below and the
+table in docs/PROTOCOL.md §4):
+
+====  ====================  ===========================================
+ tag  constant              purpose
+====  ====================  ===========================================
+   1  TAG_STREAM_CREATE     instantiate per-stream filter state
+   2  TAG_STREAM_CLOSE      loss-free close handshake (down + up ack)
+   3  TAG_FILTER_LOAD       resolve a filter by name at every node
+   4  TAG_SHUTDOWN          halt the event loops
+   5  TAG_TOPOLOGY_ATTACH   adopt reconfigured routing state (recovery)
+   6  TAG_TOPOLOGY_DETACH   announce a departing subtree
+   7  TAG_HEARTBEAT         liveness probe
+   8  TAG_CLOCK_PROBE       clock-offset measurement request
+   9  TAG_CLOCK_REPLY       clock-offset measurement reply
+  10  TAG_ERROR             error report routed to the front-end
+  11  TAG_P2P               back-end to back-end routing through the tree
+  12  TAG_TELEMETRY         in-tree stats reduction (request down,
+                            merged registry snapshots up)
+====  ====================  ===========================================
 """
 
 from __future__ import annotations
@@ -24,8 +45,12 @@ __all__ = [
     "TAG_HEARTBEAT",
     "TAG_CLOCK_PROBE",
     "TAG_CLOCK_REPLY",
+    "TAG_ERROR",
+    "TAG_P2P",
+    "TAG_TELEMETRY",
     "FIRST_APPLICATION_TAG",
     "Direction",
+    "Envelope",
     "StreamSpec",
 ]
 
@@ -46,6 +71,7 @@ TAG_CLOCK_PROBE = 8
 TAG_CLOCK_REPLY = 9
 TAG_ERROR = 10
 TAG_P2P = 11
+TAG_TELEMETRY = 12
 
 #: Application tags must be >= this value.
 FIRST_APPLICATION_TAG = 100

@@ -185,6 +185,7 @@ def _register_builtins() -> None:
     """Install MRNet's built-in filters into the default registry."""
     from . import builtin_filters as bf
     from . import sync_filters as sf
+    from ..telemetry.merge_filter import TelemetryMergeFilter
     from .filters import PassthroughFilter
 
     for cls in (
@@ -197,6 +198,9 @@ def _register_builtins() -> None:
     ):
         default_registry.add_transform(cls.name, cls, replace=True)
     default_registry.add_transform("passthrough", PassthroughFilter, replace=True)
+    default_registry.add_transform(
+        TelemetryMergeFilter.name, TelemetryMergeFilter, replace=True
+    )
     for scls in (sf.WaitForAll, sf.TimeOut, sf.NullSync):
         default_registry.add_sync(scls.name, scls, replace=True)
 

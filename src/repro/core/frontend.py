@@ -11,11 +11,18 @@ surfaces the failure instead of hanging).
 
 from __future__ import annotations
 
+import queue
 from typing import TYPE_CHECKING
 
 from ..analysis.locks import make_lock
 from .errors import FilterError
-from .events import CONTROL_STREAM_ID, Envelope, TAG_ERROR, TAG_STREAM_CLOSE
+from .events import (
+    CONTROL_STREAM_ID,
+    Envelope,
+    TAG_ERROR,
+    TAG_STREAM_CLOSE,
+    TAG_TELEMETRY,
+)
 from .packet import Packet
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -31,6 +38,9 @@ class FrontEnd:
         self._streams: dict[int, "Stream"] = {}
         self._lock = make_lock("frontend_streams")
         self.errors: list[FilterError] = []
+        #: Tree-aggregated TAG_TELEMETRY replies, consumed by
+        #: :meth:`repro.core.network.Network.telemetry_snapshot`.
+        self.telemetry_replies: "queue.Queue[Packet]" = queue.Queue()
 
     def register(self, stream: "Stream") -> None:
         with self._lock:
@@ -66,6 +76,9 @@ class FrontEnd:
                 self.errors.append(err)
                 for stream in self.open_streams():
                     stream._deliver_error(err)
+            elif packet.tag == TAG_TELEMETRY:
+                # Merged (req_id, snapshot) from the root's in-tree gather.
+                self.telemetry_replies.put(packet)
             # other control noise is ignored at the application layer
             return
         stream = self.get(packet.stream_id)

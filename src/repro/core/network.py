@@ -38,6 +38,7 @@ from .events import (
     TAG_FILTER_LOAD,
     TAG_SHUTDOWN,
     TAG_STREAM_CREATE,
+    TAG_TELEMETRY,
 )
 from .filter_registry import FilterRegistry, default_registry
 from .frontend import FrontEnd
@@ -72,6 +73,7 @@ class Network:
         self.registry = registry or default_registry
         self.frontend = FrontEnd()
         self._stream_ids = itertools.count(FIRST_STREAM_ID)
+        self._telemetry_ids = itertools.count(1)
         self._shutdown = False
         self._lock = make_lock("network_state")
 
@@ -290,6 +292,46 @@ class Network:
         for be in self._backends.values():
             be.stop()
         self.transport.shutdown()
+
+    def telemetry_snapshot(self, timeout: float = 10.0) -> dict:
+        """Tree-aggregated telemetry snapshot (the in-tree stats reduction).
+
+        Injects a ``TAG_TELEMETRY`` request at the root; every node
+        forwards it to its children, back-ends answer with their local
+        registry snapshots, and internal nodes fold the replies together
+        with their own registries via the ``telemetry_merge`` filter on
+        the way back up.  The returned dict has ``counters`` summed,
+        ``histograms`` bucket-merged and ``gauges`` maxed over every
+        node and back-end (see :mod:`repro.telemetry.registry`), with
+        ``sources`` listing the contributors.
+
+        Works with telemetry disabled too (all instruments read zero);
+        enable with ``TBON_TELEMETRY=1`` or
+        :func:`repro.telemetry.enable` to see real counts.
+        """
+        import queue as _queue
+        import time as _time
+
+        self._check_alive()
+        req_id = next(self._telemetry_ids)
+        self._inject_down(Packet(CONTROL_STREAM_ID, TAG_TELEMETRY, "%d", (req_id,)))
+        deadline = _time.monotonic() + timeout
+        while True:
+            remaining = deadline - _time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError(
+                    f"telemetry snapshot {req_id} did not complete within {timeout}s"
+                )
+            try:
+                reply = self.frontend.telemetry_replies.get(timeout=remaining)
+            except _queue.Empty:
+                raise TimeoutError(
+                    f"telemetry snapshot {req_id} did not complete within {timeout}s"
+                ) from None
+            rid, snapshot = reply.values
+            if int(rid) == req_id:
+                return snapshot
+            # A stale reply from an abandoned (timed-out) gather: drop it.
 
     def node_errors(self) -> dict[int, Exception]:
         """Errors captured by communication processes (empty when healthy)."""

@@ -22,6 +22,7 @@ import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from ..telemetry.registry import Registry, SIZE_BOUNDS, TELEMETRY as _TEL
 from .errors import ChannelClosedError, FilterError, ProtocolError
 from .events import (
     CONTROL_STREAM_ID,
@@ -34,6 +35,7 @@ from .events import (
     TAG_SHUTDOWN,
     TAG_STREAM_CLOSE,
     TAG_STREAM_CREATE,
+    TAG_TELEMETRY,
     TAG_TOPOLOGY_ATTACH,
 )
 from .filter_registry import FilterRegistry
@@ -58,6 +60,9 @@ class StreamState:
     close_acks: set[int] = field(default_factory=set)
     packets_in: int = 0
     packets_out: int = 0
+    # Telemetry instruments (shared per filter name via the node registry).
+    m_filter_calls: Any = None
+    m_filter_wall: Any = None
 
 
 class NodeRunner:
@@ -114,6 +119,31 @@ class NodeRunner:
         self._cached_deadline: float | None = None
         # Duck-typed transports (tests, simulators) may predate multicast.
         self._multicast = getattr(transport, "multicast", None)
+        # Per-node telemetry registry: the unit the in-tree stats
+        # reduction aggregates (docs/OBSERVABILITY.md).  Instruments are
+        # created once here; hot paths pay one TELEMETRY.enabled check.
+        self.telemetry = Registry(f"node-{rank}")
+        self._m_up_in = self.telemetry.counter(
+            "tbon_node_packets_total", {"direction": "up", "point": "in"}
+        )
+        self._m_up_out = self.telemetry.counter(
+            "tbon_node_packets_total", {"direction": "up", "point": "out"}
+        )
+        self._m_down_in = self.telemetry.counter(
+            "tbon_node_packets_total", {"direction": "down", "point": "in"}
+        )
+        self._m_down_out = self.telemetry.counter(
+            "tbon_node_packets_total", {"direction": "down", "point": "out"}
+        )
+        self._m_control = self.telemetry.counter("tbon_node_control_packets_total")
+        self._m_timer_fires = self.telemetry.counter("tbon_node_timer_fires_total")
+        self._m_batch = self.telemetry.histogram(
+            "tbon_node_batch_size", bounds=SIZE_BOUNDS
+        )
+        self._m_inbox_depth = self.telemetry.gauge("tbon_node_inbox_depth")
+        # In-flight TAG_TELEMETRY gathers: req_id -> (waiting children, replies).
+        self._tel_pending: dict[int, dict[str, Any]] = {}
+        self._tel_merge: TransformationFilter | None = None
 
     # -- lifecycle ----------------------------------------------------------
     def start(self) -> "NodeRunner":
@@ -140,6 +170,8 @@ class NodeRunner:
         """
         inbox = self.transport.inbox(self.rank)
         get_batch = getattr(inbox, "get_batch", None)
+        qsize = getattr(inbox, "qsize", None)
+        n_batches = 0
         self.running = True
         while self.running:
             timeout = self._next_timer_delay()
@@ -152,6 +184,15 @@ class NodeRunner:
                 batch = []
             except ChannelClosedError:
                 break
+            if _TEL.enabled and batch:
+                self._m_batch.observe(len(batch))
+                n_batches += 1
+                if qsize is not None and not n_batches % 32:
+                    # Residual depth after the drain: backlog the batch
+                    # cap left behind (0 = the node is keeping up).
+                    # Sampled 1-in-32: qsize() takes the queue mutex and
+                    # would contend with producers on every drain.
+                    self._m_inbox_depth.set(qsize())
             for env in batch:
                 try:
                     self.handle(env)
@@ -214,6 +255,8 @@ class NodeRunner:
             return  # nothing can be due yet
         for st in list(self._timed_streams.values()):
             batches = st.sync.on_timer(now, st.ctx)
+            if batches and _TEL.enabled:
+                self._m_timer_fires.inc(len(batches))
             for batch in batches:
                 self._run_transform(st, batch)
         self._deadline_dirty = True
@@ -233,6 +276,8 @@ class NodeRunner:
     def _handle_control(self, env: Envelope) -> None:
         packet: Packet = env.packet
         tag = packet.tag
+        if _TEL.enabled:
+            self._m_control.inc()
         if tag == TAG_STREAM_CREATE:
             self._on_stream_create(packet)
         elif tag == TAG_STREAM_CLOSE:
@@ -246,6 +291,8 @@ class NodeRunner:
             self._on_p2p(packet)
         elif tag == TAG_TOPOLOGY_ATTACH:
             self._on_reconfigure(packet)
+        elif tag == TAG_TELEMETRY:
+            self._on_telemetry(env)
         elif tag == TAG_SHUTDOWN:
             self._on_shutdown(packet)
         elif env.direction is Direction.UPSTREAM:
@@ -282,6 +329,12 @@ class NodeRunner:
             down_transform=down,
             ctx=ctx,
             covering=covering,
+            m_filter_calls=self.telemetry.counter(
+                "tbon_filter_invocations_total", {"filter": spec.transform}
+            ),
+            m_filter_wall=self.telemetry.histogram(
+                "tbon_filter_wall_seconds", {"filter": spec.transform}
+            ),
         )
         self.streams[spec.stream_id] = st
         self._register_stream_timers(st)
@@ -381,6 +434,65 @@ class NodeRunner:
             if st.closing and st.close_acks >= set(st.covering):
                 self._finish_close(st)
 
+    def _on_telemetry(self, env: Envelope) -> None:
+        """In-tree stats reduction (docs/PROTOCOL.md §4, TAG_TELEMETRY).
+
+        Downstream ``(req_id,)`` requests fan out to every child;
+        upstream ``(req_id, snapshot)`` replies are collected, and once
+        all children answered the ``telemetry_merge`` filter folds them
+        together with this node's own registry snapshot (sum counters,
+        merge histograms, max gauges) before one merged reply ascends —
+        the Paradyn pattern of reducing performance data through the
+        tree it describes.
+        """
+        packet = env.packet
+        if env.direction is Direction.DOWNSTREAM:
+            (req_id,) = packet.values
+            self._tel_pending[int(req_id)] = {
+                "waiting": set(self._children),
+                "replies": [],
+            }
+            self._forward_down(packet, self._children)
+            if not self._children:  # degenerate tree; answer immediately
+                self._finish_telemetry(int(req_id))
+            return
+        req_id = int(packet.values[0])
+        pending = self._tel_pending.get(req_id)
+        if pending is None:
+            # Not a gather this node initiated tracking for (e.g. a late
+            # duplicate after reconfiguration): pass it toward the root.
+            self._send_root_or_up(packet)
+            return
+        pending["replies"].append(packet)
+        pending["waiting"].discard(env.src)
+        if not pending["waiting"]:
+            self._finish_telemetry(req_id)
+
+    def _finish_telemetry(self, req_id: int) -> None:
+        pending = self._tel_pending.pop(req_id)
+        own = Packet(
+            CONTROL_STREAM_ID,
+            TAG_TELEMETRY,
+            "%d %o",
+            (req_id, self.telemetry.snapshot()),
+        )
+        if self._tel_merge is None:
+            # Direct instantiation (not via self.registry): the gather
+            # must work even under a custom registry without built-ins.
+            from ..telemetry.merge_filter import TelemetryMergeFilter
+
+            self._tel_merge = TelemetryMergeFilter()
+        ctx = FilterContext(
+            node_rank=self.rank,
+            stream_id=CONTROL_STREAM_ID,
+            n_children=len(self._children),
+            is_root=self._is_root,
+            depth=self.topology.depth(self.rank),
+            now=self.clock,
+        )
+        for out in self._tel_merge.execute([own, *pending["replies"]], ctx):
+            self._send_root_or_up(out)
+
     def _on_shutdown(self, packet: Packet) -> None:
         self._forward_down(packet, self._children)
         self.running = False
@@ -410,6 +522,11 @@ class NodeRunner:
                 f"upstream data for unknown stream {packet.stream_id} at node {self.rank}"
             )
         st.packets_in += 1
+        trace = packet.trace
+        if trace is not None:
+            # Stamp the arrival time now; the hop completes (t_out, filter
+            # name) when the wave this packet gates leaves the transform.
+            packet.attach_trace(trace.mark_arrival(self.rank, self.clock()))
         packet.hop()
         batches = st.sync.push(packet, env.src, st.ctx)
         if packet.stream_id in self._timed_streams:
@@ -420,15 +537,41 @@ class NodeRunner:
             self._run_transform(st, batch)
 
     def _run_transform(self, st: StreamState, batch: list[Packet]) -> None:
-        try:
+        # Critical-path trace selection: of the traced inputs feeding
+        # this wave, the latest arrival is what gated it — its context
+        # (plus this node's hop) propagates on every output.
+        trace_in = None
+        for p in batch:
+            t = p.trace
+            if t is not None and (trace_in is None or t.t_latest > trace_in.t_latest):
+                trace_in = t
+        if _TEL.enabled:
+            # Up-in arrivals are counted per released batch (one inc of
+            # len(batch)) rather than per push: every pushed packet is
+            # released through here exactly once (push / on_timer /
+            # flush / recheck), so totals converge while the per-packet
+            # hot path stays a single flag check.
+            self._m_up_in.inc(len(batch))
+            if st.m_filter_wall is not None:
+                t0 = self.clock()
+                outputs = st.transform.execute(batch, st.ctx)
+                st.m_filter_wall.observe(self.clock() - t0)
+                st.m_filter_calls.inc()
+            else:
+                outputs = st.transform.execute(batch, st.ctx)
+        else:
             outputs = st.transform.execute(batch, st.ctx)
-        except FilterError:
-            raise
+        if trace_in is not None and outputs:
+            out_trace = trace_in.complete(st.spec.transform, self.clock())
+            for out in outputs:
+                out.attach_trace(out_trace)
         for out in outputs:
             self._emit_up(st, out)
 
     def _emit_up(self, st: StreamState, packet: Packet) -> None:
         st.packets_out += 1
+        if _TEL.enabled:
+            self._m_up_out.inc()
         if self._is_root:
             if self.deliver_up is not None:
                 self.deliver_up(Envelope(self.rank, Direction.UPSTREAM, packet))
@@ -442,6 +585,8 @@ class NodeRunner:
             raise ProtocolError(
                 f"downstream data for unknown stream {packet.stream_id} at node {self.rank}"
             )
+        if _TEL.enabled:
+            self._m_down_in.inc()
         # NB: no per-hop mutation here — downstream packets are shared by
         # reference across siblings (counted references), so they must be
         # treated as immutable.
@@ -466,6 +611,8 @@ class NodeRunner:
         kids = list(children)
         if not kids:
             return
+        if _TEL.enabled:
+            self._m_down_out.inc(len(kids))
         if len(kids) > 1:
             packet.payload_ref().incref(len(kids) - 1)
         if self._multicast is not None:

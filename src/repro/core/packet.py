@@ -22,6 +22,8 @@ from dataclasses import dataclass, field
 from typing import Any, Iterable, Sequence
 
 from ..analysis.locks import make_lock
+from ..telemetry.registry import GLOBAL as _TELEMETRY, TELEMETRY as _TEL
+from ..telemetry.trace import TraceContext
 from .errors import SerializationError
 from .serialization import (
     pack_payload,
@@ -42,6 +44,9 @@ _LEN = struct.Struct("<I")
 #: Escape hatch for benchmarking the pre-memoization data plane; leave
 #: True in production code.  (See ``benchmarks/bench_fastpath.py``.)
 FRAME_CACHE_ENABLED = True
+
+_frame_cache_hits = _TELEMETRY.counter("tbon_frame_cache_total", {"result": "hit"})
+_frame_cache_misses = _TELEMETRY.counter("tbon_frame_cache_total", {"result": "miss"})
 
 
 @dataclass
@@ -145,6 +150,7 @@ class Packet:
         "src",
         "hops",
         "seq",
+        "trace",
         "_values",
         "_ref",
         "_frame",
@@ -160,6 +166,7 @@ class Packet:
         *,
         src: int = -1,
         hops: int = 0,
+        trace: TraceContext | None = None,
         _validated: bool = False,
     ) -> None:
         self.stream_id = int(stream_id)
@@ -168,6 +175,7 @@ class Packet:
         self.src = int(src)
         self.hops = int(hops)
         self.seq = next(_packet_seq)
+        self.trace = trace
         vals = tuple(values) if _validated else validate_values(fmt, values)
         self._values = vals
         self._ref: PayloadRef | None = None
@@ -218,29 +226,96 @@ class Packet:
             and self._frame_hops == self.hops
             and FRAME_CACHE_ENABLED
         ):
+            if _TEL.enabled:
+                _frame_cache_hits.inc()
             return frame
+        if _TEL.enabled:
+            _frame_cache_misses.inc()
         header = pack_payload(
             HEADER_FMT, (self.stream_id, self.tag, self.src, self.hops, self.fmt)
         )
         body = self.payload_ref().serialize()
         # Inlined pack_payload("%ac %ac", (header, body)) — same bytes,
         # no per-directive dispatch on the per-frame hot path.
-        frame = b"".join((_LEN.pack(len(header)), header, _LEN.pack(len(body)), body))
+        if self.trace is None:
+            frame = b"".join(
+                (_LEN.pack(len(header)), header, _LEN.pack(len(body)), body)
+            )
+        else:
+            tb = self.trace.to_bytes()
+            frame = b"".join(
+                (
+                    _LEN.pack(len(header)),
+                    header,
+                    _LEN.pack(len(body)),
+                    body,
+                    _LEN.pack(len(tb)),
+                    tb,
+                )
+            )
         self._frame = frame
         self._frame_hops = self.hops
         return frame
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "Packet":
-        """Inverse of :meth:`to_bytes` (accepts any bytes-like buffer)."""
-        header_raw, body = unpack_payload("%ac %ac", data)
+        """Inverse of :meth:`to_bytes` (accepts any bytes-like buffer).
+
+        The frame is two (untraced) or three (traced) length-prefixed
+        sections; the parse is hand-rolled because the trace section is
+        optional, with the same truncation/trailing-byte errors the
+        ``"%ac %ac"`` interpreter path raised.
+        """
+        mv = memoryview(data)
+        total = len(mv)
+        offset = 0
+        sections: list[memoryview] = []
+        for _ in range(2):
+            if offset + 4 > total:
+                raise SerializationError("truncated packet frame")
+            (length,) = _LEN.unpack_from(mv, offset)
+            offset += 4
+            if offset + length > total:
+                raise SerializationError("truncated packet frame")
+            sections.append(mv[offset : offset + length])
+            offset += length
+        trace: TraceContext | None = None
+        if offset < total:
+            if offset + 4 > total:
+                raise SerializationError("truncated packet frame")
+            (length,) = _LEN.unpack_from(mv, offset)
+            offset += 4
+            if offset + length > total:
+                raise SerializationError("truncated packet frame")
+            trace = TraceContext.from_bytes(bytes(mv[offset : offset + length]))
+            offset += length
+        if offset != total:
+            raise SerializationError(
+                f"{total - offset} trailing byte(s) after packet frame"
+            )
+        header_raw, body = sections
         stream_id, tag, src, hops, fmt = unpack_payload(HEADER_FMT, header_raw)
         values = unpack_payload(fmt, body)
-        return cls(stream_id, tag, fmt, values, src=src, hops=hops, _validated=True)
+        return cls(
+            stream_id,
+            tag,
+            fmt,
+            values,
+            src=src,
+            hops=hops,
+            trace=trace,
+            _validated=True,
+        )
 
     # -- misc -------------------------------------------------------------
     def with_values(self, values: Sequence[Any], *, fmt: str | None = None) -> "Packet":
-        """A new packet on the same stream/tag with a different payload."""
+        """A new packet on the same stream/tag with a different payload.
+
+        The trace context is deliberately *not* copied: the node event
+        loop attaches the critical-path trace to transform outputs
+        itself (one sanctioned :meth:`attach_trace` site), so a filter
+        building packets with ``with_values`` cannot duplicate hops.
+        """
         return Packet(
             self.stream_id,
             self.tag,
@@ -253,6 +328,21 @@ class Packet:
     def hop(self) -> "Packet":
         """Record traversal of one communication process (in place)."""
         self.hops += 1
+        return self
+
+    def attach_trace(self, trace: TraceContext | None) -> "Packet":
+        """Attach or replace the causal trace context (in place).
+
+        Like :meth:`hop`, this is a sanctioned mutation: the memoized
+        frame is invalidated so the trace section is re-serialized.
+        Traced packets are sampled (rare), so the extra serialization
+        does not affect the multicast fast path.  Outside this module,
+        assigning ``.trace`` directly is flagged by tboncheck TB204 —
+        use this method.
+        """
+        self.trace = trace
+        self._frame = None
+        self._frame_hops = -1
         return self
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -1,0 +1,74 @@
+"""Self-hosted telemetry plane: metrics, causal tracing, in-tree reduction.
+
+Three layers (docs/OBSERVABILITY.md):
+
+* :mod:`.registry` — lock-cheap ``Counter``/``Gauge``/``Histogram``
+  instruments behind the module-level ``TELEMETRY.enabled`` flag
+  (``TBON_TELEMETRY=1``); per-node registries plus a process-global one.
+* :mod:`.trace` — sampled per-packet trace contexts recording
+  ``(node, t_in, t_out, filter)`` hops for critical-path latency
+  attribution of a reduction wave.
+* :mod:`.merge_filter` — the ``telemetry_merge`` filter that aggregates
+  registry snapshots up the tree (exposed via
+  ``Network.telemetry_snapshot()`` and ``repro.cli stats``).
+
+This package (minus :mod:`.merge_filter`) sits *below* ``repro.core`` in
+the import graph — core modules instrument themselves by importing it —
+so nothing here may import from ``repro.core``.  ``merge_filter`` is the
+one exception and is therefore loaded lazily.
+"""
+
+from __future__ import annotations
+
+from .export import format_trace, to_json, to_prometheus
+from .registry import (
+    DEFAULT_LATENCY_BOUNDS,
+    GLOBAL,
+    SIZE_BOUNDS,
+    TELEMETRY,
+    Counter,
+    Gauge,
+    Histogram,
+    Registry,
+    disable,
+    empty_snapshot,
+    enable,
+    merge_snapshots,
+    snapshot_delta,
+    telemetry_enabled,
+)
+from .trace import TRACER, TraceContext, TraceHop, Tracer, set_trace_sampling
+
+__all__ = [
+    "TELEMETRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Registry",
+    "GLOBAL",
+    "DEFAULT_LATENCY_BOUNDS",
+    "SIZE_BOUNDS",
+    "enable",
+    "disable",
+    "telemetry_enabled",
+    "empty_snapshot",
+    "merge_snapshots",
+    "snapshot_delta",
+    "TraceContext",
+    "TraceHop",
+    "Tracer",
+    "TRACER",
+    "set_trace_sampling",
+    "to_prometheus",
+    "to_json",
+    "format_trace",
+    "TelemetryMergeFilter",
+]
+
+
+def __getattr__(name: str):
+    if name == "TelemetryMergeFilter":
+        from .merge_filter import TelemetryMergeFilter
+
+        return TelemetryMergeFilter
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

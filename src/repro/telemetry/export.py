@@ -1,0 +1,90 @@
+"""Snapshot exposition: Prometheus text format and JSON.
+
+Snapshots (see :mod:`.registry`) key every series by a Prometheus-style
+string ``name{label="value",...}``, so rendering is mostly a matter of
+grouping series by metric name and, for histograms, splicing the ``le``
+label into the existing label set for the cumulative ``_bucket`` lines.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Mapping, Tuple
+
+__all__ = ["to_prometheus", "to_json", "format_trace"]
+
+
+def _split_key(key: str) -> Tuple[str, str]:
+    """``name{a="b"}`` -> ``("name", 'a="b"')``; bare names get ``""``."""
+    name, brace, body = key.partition("{")
+    return (name, body[:-1] if brace else "")
+
+
+def _fmt_value(v: float) -> str:
+    if isinstance(v, bool) or not isinstance(v, float):
+        return str(v)
+    return repr(v)
+
+
+def _fmt_bound(b: float) -> str:
+    return str(int(b)) if float(b).is_integer() else repr(float(b))
+
+
+def to_prometheus(snapshot: Mapping[str, object]) -> str:
+    """Render a snapshot in the Prometheus text exposition format."""
+    lines: List[str] = []
+
+    def emit(kind: str, series: Mapping[str, object], render) -> None:
+        groups: Dict[str, List[str]] = {}
+        for key in sorted(series):
+            name, labels = _split_key(key)
+            groups.setdefault(name, []).extend(render(name, labels, series[key]))
+        for name in sorted(groups):
+            lines.append(f"# TYPE {name} {kind}")
+            lines.extend(groups[name])
+
+    def render_scalar(name: str, labels: str, value: object) -> List[str]:
+        label_part = f"{{{labels}}}" if labels else ""
+        return [f"{name}{label_part} {_fmt_value(value)}"]
+
+    def render_hist(name: str, labels: str, h: object) -> List[str]:
+        out: List[str] = []
+        cumulative = 0
+        for bound, count in zip(h["bounds"], h["counts"]):
+            cumulative += count
+            le = f'le="{_fmt_bound(bound)}"'
+            body = f"{labels},{le}" if labels else le
+            out.append(f"{name}_bucket{{{body}}} {cumulative}")
+        body = f'{labels},le="+Inf"' if labels else 'le="+Inf"'
+        out.append(f"{name}_bucket{{{body}}} {h['count']}")
+        label_part = f"{{{labels}}}" if labels else ""
+        out.append(f"{name}_sum{label_part} {_fmt_value(float(h['sum']))}")
+        out.append(f"{name}_count{label_part} {h['count']}")
+        return out
+
+    emit("counter", snapshot.get("counters", {}), render_scalar)
+    emit("gauge", snapshot.get("gauges", {}), render_scalar)
+    emit("histogram", snapshot.get("histograms", {}), render_hist)
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def to_json(snapshot: Mapping[str, object], indent: int = 2) -> str:
+    """Render a snapshot as deterministic (sorted-key) JSON."""
+    return json.dumps(snapshot, indent=indent, sort_keys=True)
+
+
+def format_trace(trace) -> str:
+    """Human-readable hop table for a :class:`~.trace.TraceContext`."""
+    lines = [f"trace {trace.trace_id:#018x} ({len(trace.hops)} hops)"]
+    if not trace.hops:
+        return lines[0]
+    t0 = trace.hops[0].t_in
+    for i, hop in enumerate(trace.hops):
+        dwell = hop.t_out - hop.t_in
+        lines.append(
+            f"  hop {i}: node {hop.node:>3}  filter={hop.filter:<16} "
+            f"t_in=+{hop.t_in - t0:.6f}s  t_out=+{hop.t_out - t0:.6f}s  "
+            f"dwell={dwell * 1e3:.3f}ms"
+        )
+    lines.append(f"  end-to-end: {(trace.hops[-1].t_out - t0) * 1e3:.3f}ms")
+    return "\n".join(lines)

@@ -1,0 +1,53 @@
+"""The built-in ``telemetry_merge`` transformation filter.
+
+Telemetry snapshots ride the tree they measure: every node answers a
+``TAG_TELEMETRY`` request with a ``"%d %o"`` packet — request id plus a
+registry snapshot dict — and internal nodes fold their children's
+replies together with their own using this filter (sum counters, merge
+histogram buckets, max gauges; see
+:func:`repro.telemetry.registry.merge_snapshots`).  Because the merge is
+associative and commutative, the root's aggregate equals the flat sum
+over all per-node snapshots regardless of tree shape — the property the
+``repro.cli stats`` command checks.
+
+The filter is registered under ``telemetry_merge`` by
+:mod:`repro.core.filter_registry`, so applications can also use it on
+ordinary streams to reduce their own snapshot-shaped payloads.
+
+Kept out of ``telemetry/__init__`` imports: this module depends on
+``repro.core.filters``, while the rest of the telemetry package must
+stay importable from ``core/packet.py`` (no cycle).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.errors import FilterError
+from ..core.filters import FilterContext, TransformationFilter
+from ..core.packet import Packet
+from .registry import merge_snapshots
+
+__all__ = ["TelemetryMergeFilter"]
+
+
+class TelemetryMergeFilter(TransformationFilter):
+    """Merge ``(req_id, snapshot)`` packets into one aggregated packet."""
+
+    name = "telemetry_merge"
+
+    def transform(
+        self, packets: Sequence[Packet], ctx: FilterContext
+    ) -> Packet:
+        first = packets[0]
+        for p in packets:
+            if p.fmt != first.fmt:
+                raise FilterError(
+                    f"telemetry_merge: mixed formats {first.fmt!r} / {p.fmt!r}"
+                )
+            if len(p.values) != 2:
+                raise FilterError(
+                    "telemetry_merge expects (req_id, snapshot) payloads"
+                )
+        merged = merge_snapshots(p.values[1] for p in packets)
+        return first.with_values((first.values[0], merged))

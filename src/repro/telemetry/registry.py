@@ -1,0 +1,360 @@
+"""Lock-cheap metrics core: counters, gauges, histograms, registries.
+
+Design constraints (ISSUE 3 / docs/OBSERVABILITY.md):
+
+* **Disabled must be free.**  Every hot-path call site guards on
+  ``TELEMETRY.enabled`` — a single attribute load on a module-level
+  singleton — so the telemetry plane cannot regress PR 1's fast path.
+  The flag defaults to the ``TBON_TELEMETRY`` environment variable and
+  can be flipped at runtime with :func:`enable`/:func:`disable`.
+* **Enabled must be cheap.**  Counters and histograms shard per thread
+  (keyed by ``threading.get_ident()``): an increment is two dict
+  operations on a shard no other thread touches, so there is no lock
+  and no cross-core cache ping-pong on the data plane.  ``value()``
+  folds the shards — reads are the rare path.
+* **Snapshots must reduce.**  A registry snapshot is a plain picklable
+  dict whose merge is associative and commutative (sum counters, merge
+  histogram bucket counts, max gauges), so per-node snapshots can be
+  aggregated *up the tree it measures* by the built-in
+  ``telemetry_merge`` filter — Paradyn-style tree-aggregated
+  performance data.
+
+This module must stay import-light (stdlib + ``repro.analysis.locks``
+only): ``core/packet.py`` imports it.
+"""
+
+from __future__ import annotations
+
+import os
+from bisect import bisect_left
+from threading import get_ident
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from ..analysis.locks import make_lock
+
+__all__ = [
+    "TELEMETRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Registry",
+    "GLOBAL",
+    "DEFAULT_LATENCY_BOUNDS",
+    "SIZE_BOUNDS",
+    "enable",
+    "disable",
+    "telemetry_enabled",
+    "empty_snapshot",
+    "merge_snapshots",
+    "snapshot_delta",
+]
+
+#: Environment variable that enables the telemetry plane at import time
+#: (mirrors ``TBON_LOCKCHECK`` from the analysis package).
+ENV_VAR = "TBON_TELEMETRY"
+
+#: Log-scale (power-of-two) bucket upper bounds for latencies in seconds:
+#: ~1 microsecond up to 32 s, 26 buckets + overflow.
+DEFAULT_LATENCY_BOUNDS: Tuple[float, ...] = tuple(2.0**e for e in range(-20, 6))
+
+#: Log-scale bounds for sizes/counts (batch sizes, queue depths): 1..64Ki.
+SIZE_BOUNDS: Tuple[float, ...] = tuple(2.0**e for e in range(0, 17))
+
+
+class _TelemetryState:
+    """Module-level enable flag; hot paths read ``TELEMETRY.enabled``."""
+
+    __slots__ = ("enabled",)
+
+    def __init__(self, enabled: bool) -> None:
+        self.enabled = enabled
+
+
+TELEMETRY = _TelemetryState(os.environ.get(ENV_VAR, "") not in ("", "0"))
+
+
+def enable() -> None:
+    """Turn the telemetry plane on for this process."""
+    TELEMETRY.enabled = True
+
+
+def disable() -> None:
+    """Turn the telemetry plane off (instruments become no-ops at call sites)."""
+    TELEMETRY.enabled = False
+
+
+def telemetry_enabled() -> bool:
+    return TELEMETRY.enabled
+
+
+def _key(name: str, labels: Optional[Mapping[str, str]]) -> str:
+    """Prometheus-style series key: ``name{k="v",...}`` with sorted labels."""
+    if not labels:
+        return name
+    body = ",".join(f'{k}="{labels[k]}"' for k in sorted(labels))
+    return f"{name}{{{body}}}"
+
+
+class Counter:
+    """Monotonic counter, sharded per thread (lock-free under the GIL)."""
+
+    __slots__ = ("key", "_shards")
+
+    def __init__(self, key: str) -> None:
+        self.key = key
+        self._shards: Dict[int, int] = {}
+
+    def inc(self, n: int = 1) -> None:
+        shards = self._shards
+        tid = get_ident()
+        # try/except beats .get(): the steady state (shard exists) is two
+        # subscript ops with no method call, and the miss happens once per
+        # thread lifetime.
+        try:
+            shards[tid] += n
+        except KeyError:
+            shards[tid] = n
+
+    def value(self) -> int:
+        return sum(self._shards.values())
+
+    def reset(self) -> None:
+        self._shards.clear()
+
+
+class Gauge:
+    """Last-write-wins sampled value; cross-node merge takes the max."""
+
+    __slots__ = ("key", "_value")
+
+    def __init__(self, key: str) -> None:
+        self.key = key
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        self._value = value
+
+    def value(self) -> float:
+        return self._value
+
+    def reset(self) -> None:
+        self._value = 0.0
+
+
+class _HistShard:
+    __slots__ = ("counts", "sum", "count")
+
+    def __init__(self, n_buckets: int) -> None:
+        self.counts = [0] * n_buckets
+        self.sum = 0.0
+        self.count = 0
+
+
+class Histogram:
+    """Fixed log-scale-bound histogram, sharded per thread.
+
+    ``bounds`` are upper bucket bounds with Prometheus ``le`` semantics:
+    an observation ``v`` lands in the first bucket whose bound ``>= v``;
+    values above the last bound land in the implicit ``+Inf`` overflow
+    bucket, so ``counts`` has ``len(bounds) + 1`` entries.
+    """
+
+    __slots__ = ("key", "bounds", "_shards")
+
+    def __init__(self, key: str, bounds: Tuple[float, ...]) -> None:
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError(f"histogram bounds must be strictly increasing: {bounds!r}")
+        self.key = key
+        self.bounds = tuple(float(b) for b in bounds)
+        self._shards: Dict[int, _HistShard] = {}
+
+    def observe(self, value: float) -> None:
+        shards = self._shards
+        tid = get_ident()
+        shard = shards.get(tid)
+        if shard is None:
+            shard = shards[tid] = _HistShard(len(self.bounds) + 1)
+        shard.counts[bisect_left(self.bounds, value)] += 1
+        shard.sum += value
+        shard.count += 1
+
+    def value(self) -> Dict[str, object]:
+        counts = [0] * (len(self.bounds) + 1)
+        total = 0.0
+        n = 0
+        for shard in list(self._shards.values()):
+            for i, c in enumerate(shard.counts):
+                counts[i] += c
+            total += shard.sum
+            n += shard.count
+        return {"bounds": list(self.bounds), "counts": counts, "sum": total, "count": n}
+
+    def reset(self) -> None:
+        self._shards.clear()
+
+
+class Registry:
+    """Get-or-create instrument store; one per node plus a process global.
+
+    Instruments are created through the registry (enforced by tboncheck
+    rule TB501) so every series appears in :meth:`snapshot` and therefore
+    in the in-tree stats reduction.  Creation takes a lock; the returned
+    instrument is then used lock-free on the hot path.
+    """
+
+    def __init__(self, source: str = "process") -> None:
+        self.source = source
+        self._lock = make_lock("telemetry_registry")
+        with self._lock:
+            self._counters: Dict[str, Counter] = {}  # tbon: lock=_lock
+            self._gauges: Dict[str, Gauge] = {}  # tbon: lock=_lock
+            self._histograms: Dict[str, Histogram] = {}  # tbon: lock=_lock
+
+    def counter(self, name: str, labels: Optional[Mapping[str, str]] = None) -> Counter:
+        key = _key(name, labels)
+        with self._lock:
+            inst = self._counters.get(key)
+            if inst is None:
+                inst = self._counters[key] = Counter(key)
+        return inst
+
+    def gauge(self, name: str, labels: Optional[Mapping[str, str]] = None) -> Gauge:
+        key = _key(name, labels)
+        with self._lock:
+            inst = self._gauges.get(key)
+            if inst is None:
+                inst = self._gauges[key] = Gauge(key)
+        return inst
+
+    def histogram(
+        self,
+        name: str,
+        labels: Optional[Mapping[str, str]] = None,
+        bounds: Tuple[float, ...] = DEFAULT_LATENCY_BOUNDS,
+    ) -> Histogram:
+        key = _key(name, labels)
+        with self._lock:
+            inst = self._histograms.get(key)
+            if inst is None:
+                inst = self._histograms[key] = Histogram(key, bounds)
+            elif inst.bounds != tuple(float(b) for b in bounds):
+                raise ValueError(
+                    f"histogram {key!r} re-registered with different bounds"
+                )
+        return inst
+
+    def snapshot(self) -> Dict[str, object]:
+        """Plain-dict snapshot; associative input to :func:`merge_snapshots`."""
+        with self._lock:
+            counters = list(self._counters.values())
+            gauges = list(self._gauges.values())
+            histograms = list(self._histograms.values())
+        return {
+            "sources": [self.source],
+            "counters": {c.key: c.value() for c in counters},
+            "gauges": {g.key: g.value() for g in gauges},
+            "histograms": {h.key: h.value() for h in histograms},
+        }
+
+    def reset(self) -> None:
+        with self._lock:
+            instruments = (
+                list(self._counters.values())
+                + list(self._gauges.values())
+                + list(self._histograms.values())
+            )
+        for inst in instruments:
+            inst.reset()
+
+
+#: Process-wide registry for instruments that cannot be attributed to a
+#: single node (packet frame cache, transport socket path).
+GLOBAL = Registry("process")
+
+
+def empty_snapshot() -> Dict[str, object]:
+    return {"sources": [], "counters": {}, "gauges": {}, "histograms": {}}
+
+
+def _hist_copy(h: Mapping[str, object]) -> Dict[str, object]:
+    return {
+        "bounds": list(h["bounds"]),
+        "counts": list(h["counts"]),
+        "sum": float(h["sum"]),
+        "count": int(h["count"]),
+    }
+
+
+def _hist_add(into: Dict[str, object], other: Mapping[str, object]) -> None:
+    if list(into["bounds"]) != list(other["bounds"]):
+        raise ValueError("cannot merge histograms with different bounds")
+    counts: List[int] = into["counts"]
+    for i, c in enumerate(other["counts"]):
+        counts[i] += c
+    into["sum"] = float(into["sum"]) + float(other["sum"])
+    into["count"] = int(into["count"]) + int(other["count"])
+
+
+def merge_snapshots(snapshots: Iterable[Mapping[str, object]]) -> Dict[str, object]:
+    """Fold snapshots: sum counters, merge histogram buckets, max gauges.
+
+    Associative and commutative, so partial merges computed at internal
+    nodes compose into the same root result regardless of tree shape.
+    """
+    sources: List[str] = []
+    counters: Dict[str, int] = {}
+    gauges: Dict[str, float] = {}
+    histograms: Dict[str, Dict[str, object]] = {}
+    for snap in snapshots:
+        sources.extend(snap.get("sources", []))
+        for key, v in snap.get("counters", {}).items():
+            counters[key] = counters.get(key, 0) + v
+        for key, v in snap.get("gauges", {}).items():
+            prev = gauges.get(key)
+            gauges[key] = v if prev is None else max(prev, v)
+        for key, h in snap.get("histograms", {}).items():
+            mine = histograms.get(key)
+            if mine is None:
+                histograms[key] = _hist_copy(h)
+            else:
+                _hist_add(mine, h)
+    sources.sort()
+    return {
+        "sources": sources,
+        "counters": counters,
+        "gauges": gauges,
+        "histograms": histograms,
+    }
+
+
+def snapshot_delta(
+    before: Mapping[str, object], after: Mapping[str, object]
+) -> Dict[str, object]:
+    """``after - before`` for counters/histograms; gauges keep ``after``.
+
+    Used by the benchmark harness to report instrument deltas alongside
+    timings without resetting live registries.
+    """
+    counters: Dict[str, int] = {}
+    histograms: Dict[str, Dict[str, object]] = {}
+    before_counters = before.get("counters", {})
+    before_hists = before.get("histograms", {})
+    for key, v in after.get("counters", {}).items():
+        counters[key] = v - before_counters.get(key, 0)
+    for key, h in after.get("histograms", {}).items():
+        prev = before_hists.get(key)
+        if prev is None:
+            histograms[key] = _hist_copy(h)
+        else:
+            histograms[key] = {
+                "bounds": list(h["bounds"]),
+                "counts": [a - b for a, b in zip(h["counts"], prev["counts"])],
+                "sum": float(h["sum"]) - float(prev["sum"]),
+                "count": int(h["count"]) - int(prev["count"]),
+            }
+    return {
+        "sources": list(after.get("sources", [])),
+        "counters": counters,
+        "gauges": dict(after.get("gauges", {})),
+        "histograms": histograms,
+    }

@@ -1,0 +1,164 @@
+"""Sampled causal tracing for reduction waves.
+
+A :class:`TraceContext` rides a packet up the tree: the originating
+back-end starts one (sampled), and every communication process that the
+wave traverses appends a ``(node, t_in, t_out, filter)`` hop record.
+Because waves *merge* at internal nodes — many input packets become one
+output packet — the trace that propagates is the **critical path**: of
+the traced inputs feeding a transform, the one that arrived last (its
+``t_in`` is what gated the wave).  Reading the hop list of the packet
+that reaches the front-end therefore gives end-to-end latency
+attribution: time in flight between hops, time parked in the
+synchronization filter, and time inside each transformation filter.
+
+Trace contexts are immutable (every mark returns a new context) so they
+compose with the serialize-once contract: ``Packet.attach_trace`` is the
+single sanctioned attachment point and invalidates the frame memo.
+
+Timestamps are ``time.monotonic()`` values; within one process (both
+bundled transports) they are mutually comparable, which is why the
+acceptance check "every hop with non-decreasing timestamps" is sound.
+
+Import-light by design (stdlib only): ``core/packet.py`` imports this.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import struct
+from typing import Iterator, List, NamedTuple, Optional, Tuple
+
+__all__ = [
+    "TraceHop",
+    "TraceContext",
+    "Tracer",
+    "TRACER",
+    "set_trace_sampling",
+    "new_trace_id",
+]
+
+
+class TraceHop(NamedTuple):
+    """One completed visit: entered ``node`` at ``t_in``, left at ``t_out``."""
+
+    node: int
+    t_in: float
+    t_out: float
+    filter: str
+
+
+_HOP_HEAD = struct.Struct("<iddH")  # node, t_in, t_out, len(filter)
+_TRACE_HEAD = struct.Struct("<QH")  # trace_id, n_hops
+
+_ids = itertools.count(1)
+
+
+def new_trace_id() -> int:
+    """Process-unique 64-bit trace id (pid in the high bits)."""
+    return ((os.getpid() & 0xFFFFFFFF) << 32) | (next(_ids) & 0xFFFFFFFF)
+
+
+class TraceContext:
+    """Immutable trace: an id, completed hops, and an optional open arrival."""
+
+    __slots__ = ("trace_id", "hops", "pending")
+
+    def __init__(
+        self,
+        trace_id: int,
+        hops: Tuple[TraceHop, ...] = (),
+        pending: Optional[Tuple[int, float]] = None,
+    ) -> None:
+        self.trace_id = trace_id
+        self.hops = hops
+        self.pending = pending
+
+    @classmethod
+    def start(cls, node: int, t: float, label: str = "send") -> "TraceContext":
+        """Begin a trace at the originating back-end."""
+        return cls(new_trace_id(), (TraceHop(node, t, t, label),))
+
+    def mark_arrival(self, node: int, t_in: float) -> "TraceContext":
+        """Record entry into a node; completed by :meth:`complete`."""
+        return TraceContext(self.trace_id, self.hops, (node, t_in))
+
+    def complete(self, filter_name: str, t_out: float) -> "TraceContext":
+        """Close the pending arrival into a hop record (at transform emit)."""
+        if self.pending is None:
+            return self
+        node, t_in = self.pending
+        hop = TraceHop(node, t_in, t_out, filter_name)
+        return TraceContext(self.trace_id, self.hops + (hop,))
+
+    @property
+    def t_latest(self) -> float:
+        """Most recent timestamp on this context (critical-path ordering)."""
+        if self.pending is not None:
+            return self.pending[1]
+        return self.hops[-1].t_out if self.hops else 0.0
+
+    def to_bytes(self) -> bytes:
+        """Wire encoding (completed hops only; pending never crosses a link)."""
+        parts: List[bytes] = [_TRACE_HEAD.pack(self.trace_id, len(self.hops))]
+        for hop in self.hops:
+            name = hop.filter.encode("utf-8")
+            parts.append(_HOP_HEAD.pack(hop.node, hop.t_in, hop.t_out, len(name)))
+            parts.append(name)
+        return b"".join(parts)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "TraceContext":
+        trace_id, n_hops = _TRACE_HEAD.unpack_from(data, 0)
+        offset = _TRACE_HEAD.size
+        hops: List[TraceHop] = []
+        for _ in range(n_hops):
+            node, t_in, t_out, name_len = _HOP_HEAD.unpack_from(data, offset)
+            offset += _HOP_HEAD.size
+            name = data[offset : offset + name_len].decode("utf-8")
+            offset += name_len
+            hops.append(TraceHop(node, t_in, t_out, name))
+        if offset != len(data):
+            raise ValueError(
+                f"trailing bytes in trace encoding ({len(data) - offset})"
+            )
+        return cls(trace_id, tuple(hops))
+
+    def __iter__(self) -> Iterator[TraceHop]:
+        return iter(self.hops)
+
+    def __repr__(self) -> str:
+        return f"TraceContext(id={self.trace_id:#x}, hops={len(self.hops)})"
+
+
+class Tracer:
+    """Deterministic 1-in-N sampler (no RNG on the data plane)."""
+
+    __slots__ = ("rate", "_period", "_n")
+
+    def __init__(self, rate: float = 0.0) -> None:
+        self.rate = 0.0
+        self._period = 0
+        self._n = 0
+        self.set_rate(rate)
+
+    def set_rate(self, rate: float) -> None:
+        if rate < 0.0 or rate > 1.0:
+            raise ValueError(f"sampling rate must be in [0, 1]: {rate}")
+        self.rate = rate
+        self._period = 0 if rate == 0.0 else max(1, round(1.0 / rate))
+
+    def sample(self) -> bool:
+        if self._period == 0:
+            return False
+        self._n += 1
+        return self._n % self._period == 0
+
+
+#: Process-wide sampler consulted by back-ends when starting traces.
+TRACER = Tracer(0.0)
+
+
+def set_trace_sampling(rate: float) -> None:
+    """Set the global trace sampling rate (0 disables, 1 traces everything)."""
+    TRACER.set_rate(rate)

@@ -17,7 +17,8 @@ filter keeps snapshots responsive when stragglers lag.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from typing import Callable
 
 import numpy as np
@@ -50,12 +51,24 @@ class NodeMetrics:
 
 @dataclass
 class MetricsSnapshot:
-    """One cluster-wide aggregated snapshot."""
+    """One cluster-wide aggregated snapshot.
+
+    ``captured_at`` is the monotonic clock reading taken when the
+    aggregated waves landed at the front-end — the same clock the
+    telemetry trace hops use, so snapshot ages compose with trace
+    timestamps.  It is *not* wall-clock time; compare it only against
+    other monotonic readings in this process.
+    """
 
     minimum: np.ndarray
     maximum: np.ndarray
     average: np.ndarray
     n_reporting: int
+    captured_at: float = field(default_factory=time.monotonic)
+
+    def staleness(self, now: float | None = None) -> float:
+        """Seconds elapsed since capture (monotonic ``now`` overridable)."""
+        return (time.monotonic() if now is None else now) - self.captured_at
 
     def as_dict(self) -> dict[str, dict[str, float]]:
         return {
@@ -142,6 +155,7 @@ class ClusterMonitor:
         mn = self.min_stream.recv(timeout=timeout).values[0]
         mx = self.max_stream.recv(timeout=timeout).values[0]
         av = self.avg_stream.recv(timeout=timeout).values[0]
+        captured_at = time.monotonic()
         if not (np.all(mn <= av + 1e-9) and np.all(av <= mx + 1e-9)):
             raise TBONError("aggregation invariant violated: min <= avg <= max")
         return MetricsSnapshot(
@@ -149,6 +163,7 @@ class ClusterMonitor:
             maximum=mx,
             average=av,
             n_reporting=self.net.topology.n_backends,
+            captured_at=captured_at,
         )
 
     def watch(

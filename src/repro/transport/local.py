@@ -15,9 +15,16 @@ from typing import Any, Sequence
 from ..core.errors import TransportError
 from ..core.events import Direction, Envelope
 from ..core.topology import Topology
+from ..telemetry.registry import GLOBAL as _TELEMETRY, TELEMETRY as _TEL
 from .base import Inbox, Transport
 
 __all__ = ["ThreadTransport"]
+
+# Packets move by reference here, so bytes/latency make no sense; a
+# delivery counter is the only instrument worth its cost on this path.
+_m_delivered = _TELEMETRY.counter(
+    "tbon_transport_packets_total", {"transport": "thread"}
+)
 
 
 class ThreadTransport(Transport):
@@ -53,6 +60,8 @@ class ThreadTransport(Transport):
 
     def send(self, src: int, dst: int, direction: Direction, packet: Any) -> None:
         self._check_edge(src, dst)
+        if _TEL.enabled:
+            _m_delivered.inc()
         self.inbox(dst).put(Envelope(src=src, direction=direction, packet=packet))
 
     def multicast(
@@ -62,6 +71,8 @@ class ThreadTransport(Transport):
         # a k-way multicast allocates one envelope, not k (the in-process
         # analogue of serializing the wire frame once).
         env = Envelope(src=src, direction=direction, packet=packet)
+        if _TEL.enabled:
+            _m_delivered.inc(len(dsts))
         for dst in dsts:
             self._check_edge(src, dst)
             self.inbox(dst).put(env)

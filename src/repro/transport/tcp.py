@@ -29,6 +29,7 @@ import logging
 import socket
 import struct
 import threading
+import time
 from typing import Any, Sequence
 
 from ..analysis.locks import make_lock
@@ -36,11 +37,28 @@ from ..core.errors import ChannelClosedError, TransportError
 from ..core.events import Direction, Envelope
 from ..core.packet import Packet
 from ..core.topology import Topology
+from ..telemetry.registry import GLOBAL as _TELEMETRY, TELEMETRY as _TEL
 from .base import Inbox, Transport
 
 __all__ = ["TCPTransport"]
 
 _LOG = logging.getLogger(__name__)
+
+# Process-wide transport instruments (GLOBAL registry: sockets are shared
+# process infrastructure, not per-node state).  Created once at import so
+# the disabled hot path stays a single ``_TEL.enabled`` attribute check.
+_m_tx_bytes = _TELEMETRY.counter(
+    "tbon_transport_bytes_total", {"transport": "tcp", "direction": "sent"}
+)
+_m_rx_bytes = _TELEMETRY.counter(
+    "tbon_transport_bytes_total", {"transport": "tcp", "direction": "received"}
+)
+_m_send_lat = _TELEMETRY.histogram(
+    "tbon_transport_send_seconds", {"transport": "tcp"}
+)
+_m_recv_lat = _TELEMETRY.histogram(
+    "tbon_transport_recv_seconds", {"transport": "tcp"}
+)
 
 _HDR = struct.Struct("<IBi")
 _RANK_HELLO = struct.Struct("<i")
@@ -99,6 +117,7 @@ class _Connection:
         try:
             while not self._closed.is_set():
                 _recv_into_exact(self.sock, hdr_view)
+                t0 = time.perf_counter() if _TEL.enabled else 0.0
                 length, dir_code, src = _HDR.unpack(hdr_buf)
                 if length > len(body_buf):
                     body_buf = bytearray(length)
@@ -108,6 +127,11 @@ class _Connection:
                 self.inbox.put(
                     Envelope(src=src, direction=_CODE_DIR[dir_code], packet=packet)
                 )
+                if _TEL.enabled:
+                    # Frame-processing latency: body recv + parse + enqueue
+                    # (the header wait above is idle time, not work).
+                    _m_recv_lat.observe(time.perf_counter() - t0)
+                    _m_rx_bytes.inc(_HDR.size + length)
         except (ConnectionError, OSError, ChannelClosedError) as exc:
             # Expected when close() tore the connection down; anything
             # else (peer crash, malformed frame killing from_bytes) must
@@ -123,6 +147,7 @@ class _Connection:
     def send_frame(self, src: int, direction: Direction, body: bytes) -> None:
         """Write one frame via scatter-gather (header and body uncopied)."""
         header = _HDR.pack(len(body), _DIR_CODE[direction], src)
+        t0 = time.perf_counter() if _TEL.enabled else 0.0
         with self._wlock:
             try:
                 sent = self.sock.sendmsg((header, body))
@@ -132,6 +157,9 @@ class _Connection:
                     self.sock.sendall(rest)
             except OSError as exc:
                 raise ChannelClosedError(f"TCP send failed: {exc}") from exc
+        if _TEL.enabled:
+            _m_send_lat.observe(time.perf_counter() - t0)
+            _m_tx_bytes.inc(len(header) + len(body))
 
     def close(self) -> None:
         self._closed.set()

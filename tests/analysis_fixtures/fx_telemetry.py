@@ -1,0 +1,43 @@
+"""tboncheck fixture: TB501 telemetry-instrument discipline.
+
+Never imported — only parsed.  See fx_wire_format.py for the marker
+conventions.
+"""
+
+import collections
+
+import repro.telemetry.registry as tel_registry
+from collections import Counter as StdCounter
+from repro.telemetry.registry import Counter, Gauge, GLOBAL
+from repro.telemetry.registry import Histogram as Hist
+
+
+def direct_instantiation():
+    c = Counter("tbon_rogue_total")  # expect: TB501
+    g = Gauge("tbon_rogue_depth")  # expect: TB501
+    h = Hist("tbon_rogue_seconds", (1.0, 2.0))  # expect: TB501
+    return c, g, h
+
+
+def via_module_alias():
+    return tel_registry.Counter("tbon_rogue_total")  # expect: TB501
+
+
+def suppressed_with_reason():
+    # A deliberate off-registry instrument (e.g. a unit test's scratch
+    # object) can opt out explicitly.
+    return Counter("scratch")  # tbon: ignore[TB501]
+
+
+def through_the_registry():
+    # The sanctioned path: keyed get-or-create on a Registry.
+    c = GLOBAL.counter("tbon_good_total", {"kind": "fixture"})
+    h = GLOBAL.histogram("tbon_good_seconds")
+    return c, h
+
+
+def unrelated_counters_stay_clean():
+    # collections.Counter is not a telemetry instrument.
+    a = StdCounter("abracadabra")
+    b = collections.Counter([1, 2, 2])
+    return a, b

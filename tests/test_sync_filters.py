@@ -135,6 +135,65 @@ class TestTimeOut:
         with pytest.raises(FilterError):
             TimeOut(window=0.0)
 
+    def test_straggler_lands_in_next_wave(self):
+        """A packet arriving after the window closed joins the next wave."""
+        clock = FakeClock()
+        f = TimeOut(window=1.0)
+        c = mk_ctx(3, clock)
+        f.push(pkt(1), 10, c)
+        f.push(pkt(2), 11, c)
+        clock.advance(1.5)
+        partial = f.on_timer(clock(), c)
+        assert sorted(p.values[0] for p in partial[0]) == [1, 2]
+        # Child 12's late packet opens a fresh window...
+        assert f.push(pkt(3), 12, c) == []
+        assert f.next_deadline() == pytest.approx(2.5)
+        # ...and is released with the *next* wave, not lost.
+        clock.advance(1.1)
+        nxt = f.on_timer(clock(), c)
+        assert [p.values[0] for p in nxt[0]] == [3]
+        assert f.pending_count() == 0
+
+
+class TestTimeOutLive:
+    def test_lagging_backend_partial_wave_then_straggler(self):
+        """Live network: a deliberately lagging back-end misses the window.
+
+        The prompt back-ends' contributions are delivered as a partial
+        wave when the timer fires; the straggler's packet is not dropped
+        but surfaces as the following (singleton) wave.
+        """
+        import threading
+
+        from repro.core.events import FIRST_APPLICATION_TAG
+        from repro.core.network import Network
+        from repro.core.topology import flat_topology
+
+        release = threading.Event()
+        with Network(flat_topology(3)) as net:
+            s = net.new_stream(
+                transform="sum", sync="time_out", sync_params={"window": 0.3}
+            )
+
+            def leaf(be):
+                be.wait_for_stream(s.stream_id)
+                if be.rank == net.topology.backends[-1]:
+                    # The lagging back-end: far beyond the sync window.
+                    assert release.wait(30)
+                    be.send(s.stream_id, FIRST_APPLICATION_TAG, "%d", 100)
+                else:
+                    be.send(s.stream_id, FIRST_APPLICATION_TAG, "%d", 1)
+
+            threads = net.run_backends(leaf, join=False)
+            partial = s.recv(timeout=30)
+            assert partial.values == (2,)  # both prompt back-ends, no straggler
+            release.set()
+            straggler = s.recv(timeout=30)
+            assert straggler.values == (100,)  # lands alone in the next wave
+            for t in threads:
+                t.join(30)
+            assert not net.node_errors()
+
 
 class TestNullSync:
     def test_immediate_delivery(self):

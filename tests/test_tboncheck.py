@@ -44,7 +44,13 @@ def actual_findings(path: str) -> set[tuple[int, str]]:
 
 @pytest.mark.parametrize(
     "fixture",
-    ["fx_wire_format.py", "fx_filter_protocol.py", "fx_locks.py", "fx_excepts.py"],
+    [
+        "fx_wire_format.py",
+        "fx_filter_protocol.py",
+        "fx_locks.py",
+        "fx_excepts.py",
+        "fx_telemetry.py",
+    ],
 )
 def test_fixture_findings_match_markers(fixture):
     path = os.path.join(FIXTURES, fixture)

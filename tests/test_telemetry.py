@@ -1,0 +1,357 @@
+"""Tests for the telemetry plane: metrics core, tracing, in-tree reduction.
+
+Global state (the enable flag, the trace sampler) is saved and restored
+around every test so the suite passes identically with and without
+``TBON_TELEMETRY=1`` in the environment.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.core.errors import FilterError
+from repro.core.events import FIRST_APPLICATION_TAG
+from repro.core.filters import FilterContext
+from repro.core.network import Network
+from repro.core.packet import Packet
+from repro.core.topology import balanced_topology
+from repro.telemetry.export import format_trace, to_json, to_prometheus
+from repro.telemetry.merge_filter import TelemetryMergeFilter
+from repro.telemetry.registry import (
+    TELEMETRY,
+    Registry,
+    empty_snapshot,
+    enable,
+    merge_snapshots,
+    snapshot_delta,
+    telemetry_enabled,
+)
+from repro.telemetry.trace import TRACER, TraceContext, Tracer, set_trace_sampling
+
+
+@pytest.fixture
+def telemetry_on():
+    prev = TELEMETRY.enabled
+    enable()
+    yield
+    TELEMETRY.enabled = prev
+
+
+@pytest.fixture
+def trace_all():
+    prev = TRACER.rate
+    set_trace_sampling(1.0)
+    yield
+    set_trace_sampling(prev)
+
+
+# -- metrics core -------------------------------------------------------------
+
+
+def test_enable_disable_roundtrip():
+    prev = TELEMETRY.enabled
+    try:
+        enable()
+        assert telemetry_enabled()
+        TELEMETRY.enabled = False
+        assert not telemetry_enabled()
+    finally:
+        TELEMETRY.enabled = prev
+
+
+def test_counter_sums_across_threads():
+    reg = Registry("t")
+    c = reg.counter("tbon_test_total", {"k": "v"})
+    assert c.key == 'tbon_test_total{k="v"}'
+
+    def worker():
+        for _ in range(1000):
+            c.inc()
+
+    threads = [threading.Thread(target=worker) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    c.inc(5)
+    assert c.value() == 4005
+
+
+def test_key_labels_sorted():
+    reg = Registry("t")
+    assert reg.counter("m", {"b": "2", "a": "1"}).key == 'm{a="1",b="2"}'
+    # Same labels in any order resolve to the same instrument.
+    assert reg.counter("m", {"a": "1", "b": "2"}) is reg.counter("m", {"b": "2", "a": "1"})
+
+
+def test_histogram_bucket_math():
+    reg = Registry("t")
+    h = reg.histogram("h", bounds=(1.0, 2.0, 4.0, 8.0))
+    for v in (0.5, 1.0, 1.5, 8.0, 9.0):
+        h.observe(v)
+    snap = h.value()
+    # le semantics: v == bound lands in that bound's bucket.
+    assert snap["counts"] == [2, 1, 0, 1, 1]  # last entry is +Inf overflow
+    assert snap["count"] == 5
+    assert snap["sum"] == pytest.approx(20.0)
+    assert snap["bounds"] == [1.0, 2.0, 4.0, 8.0]
+
+
+def test_histogram_bounds_validation():
+    reg = Registry("t")
+    with pytest.raises(ValueError):
+        reg.histogram("bad", bounds=(2.0, 1.0))
+    with pytest.raises(ValueError):
+        reg.histogram("dup", bounds=(1.0, 1.0, 2.0))
+    reg.histogram("ok", bounds=(1.0, 2.0))
+    with pytest.raises(ValueError):
+        reg.histogram("ok", bounds=(1.0, 4.0))  # re-registered, new bounds
+
+
+def test_merge_snapshots_semantics():
+    a = Registry("node-a")
+    b = Registry("node-b")
+    a.counter("c").inc(3)
+    b.counter("c").inc(4)
+    b.counter("only_b").inc(1)
+    a.gauge("g").set(2.0)
+    b.gauge("g").set(5.0)
+    a.histogram("h", bounds=(1.0, 2.0)).observe(0.5)
+    b.histogram("h", bounds=(1.0, 2.0)).observe(3.0)
+    merged = merge_snapshots([a.snapshot(), b.snapshot()])
+    assert merged["sources"] == ["node-a", "node-b"]
+    assert merged["counters"]["c"] == 7
+    assert merged["counters"]["only_b"] == 1
+    assert merged["gauges"]["g"] == 5.0
+    assert merged["histograms"]["h"]["counts"] == [1, 0, 1]
+    assert merged["histograms"]["h"]["count"] == 2
+
+
+def test_merge_is_associative():
+    regs = [Registry(f"n{i}") for i in range(3)]
+    for i, r in enumerate(regs):
+        r.counter("c").inc(i + 1)
+        r.histogram("h", bounds=(1.0,)).observe(float(i))
+    snaps = [r.snapshot() for r in regs]
+    left = merge_snapshots([merge_snapshots(snaps[:2]), snaps[2]])
+    right = merge_snapshots([snaps[0], merge_snapshots(snaps[1:])])
+    assert left == right == merge_snapshots(snaps)
+
+
+def test_merge_rejects_mismatched_bounds():
+    a = Registry("a")
+    b = Registry("b")
+    a.histogram("h", bounds=(1.0,)).observe(0.5)
+    b.histogram("h", bounds=(2.0,)).observe(0.5)
+    with pytest.raises(ValueError):
+        merge_snapshots([a.snapshot(), b.snapshot()])
+
+
+def test_snapshot_delta():
+    reg = Registry("t")
+    c = reg.counter("c")
+    h = reg.histogram("h", bounds=(1.0,))
+    c.inc(10)
+    h.observe(0.5)
+    before = reg.snapshot()
+    c.inc(7)
+    h.observe(2.0)
+    delta = snapshot_delta(before, reg.snapshot())
+    assert delta["counters"]["c"] == 7
+    assert delta["histograms"]["h"]["counts"] == [0, 1]
+    assert delta["histograms"]["h"]["count"] == 1
+
+
+def test_empty_snapshot_merges_as_identity():
+    reg = Registry("t")
+    reg.counter("c").inc(2)
+    snap = reg.snapshot()
+    assert merge_snapshots([empty_snapshot(), snap])["counters"] == snap["counters"]
+
+
+# -- causal tracing -----------------------------------------------------------
+
+
+def test_trace_lifecycle_and_roundtrip():
+    tr = TraceContext.start(7, 1.0)
+    tr = tr.mark_arrival(3, 2.0)
+    assert tr.t_latest == 2.0
+    tr = tr.complete("sum", 2.5)
+    assert tr.pending is None
+    assert [h.filter for h in tr] == ["send", "sum"]
+    back = TraceContext.from_bytes(tr.to_bytes())
+    assert back.trace_id == tr.trace_id
+    assert back.hops == tr.hops
+
+
+def test_trace_rejects_trailing_bytes():
+    blob = TraceContext.start(1, 0.0).to_bytes() + b"x"
+    with pytest.raises(ValueError):
+        TraceContext.from_bytes(blob)
+
+
+def test_trace_complete_without_arrival_is_noop():
+    tr = TraceContext.start(1, 0.0)
+    assert tr.complete("sum", 1.0) is tr
+
+
+def test_tracer_deterministic_sampling():
+    t = Tracer(1.0)
+    assert all(t.sample() for _ in range(5))
+    t = Tracer(0.0)
+    assert not any(t.sample() for _ in range(5))
+    t = Tracer(0.5)
+    assert [t.sample() for _ in range(6)] == [False, True, False, True, False, True]
+    with pytest.raises(ValueError):
+        Tracer(1.5)
+
+
+def test_packet_trace_wire_roundtrip():
+    pkt = Packet(1, 100, "%d %s", (42, "hi"), src=9)
+    plain = Packet.from_bytes(pkt.to_bytes())
+    assert plain.trace is None
+
+    pkt.attach_trace(TraceContext.start(9, 1.0).mark_arrival(0, 2.0).complete("sum", 3.0))
+    back = Packet.from_bytes(pkt.to_bytes())
+    assert back.values == (42, "hi")
+    assert back.trace is not None
+    assert back.trace.hops == pkt.trace.hops
+
+
+def test_attach_trace_invalidates_frame_memo():
+    pkt = Packet(1, 100, "%d", (1,), src=0)
+    untraced = pkt.to_bytes()
+    pkt.attach_trace(TraceContext.start(0, 1.0))
+    traced = pkt.to_bytes()
+    assert len(traced) > len(untraced)
+    assert Packet.from_bytes(traced).trace is not None
+
+
+# -- exposition ---------------------------------------------------------------
+
+
+def _sample_snapshot():
+    reg = Registry("demo")
+    reg.counter("tbon_pkts_total", {"dir": "up"}).inc(3)
+    reg.gauge("tbon_depth").set(2.0)
+    h = reg.histogram("tbon_lat_seconds", bounds=(1.0, 2.0))
+    h.observe(0.5)
+    h.observe(5.0)
+    return reg.snapshot()
+
+
+def test_prometheus_text_format():
+    text = to_prometheus(_sample_snapshot())
+    assert "# TYPE tbon_pkts_total counter" in text
+    assert 'tbon_pkts_total{dir="up"} 3' in text
+    assert "# TYPE tbon_depth gauge" in text
+    assert "tbon_depth 2.0" in text
+    # Cumulative buckets plus +Inf == total count.
+    assert 'tbon_lat_seconds_bucket{le="1"} 1' in text
+    assert 'tbon_lat_seconds_bucket{le="2"} 1' in text
+    assert 'tbon_lat_seconds_bucket{le="+Inf"} 2' in text
+    assert "tbon_lat_seconds_sum 5.5" in text
+    assert "tbon_lat_seconds_count 2" in text
+
+
+def test_json_export_roundtrips():
+    snap = _sample_snapshot()
+    assert json.loads(to_json(snap)) == snap
+
+
+def test_format_trace_lists_hops():
+    tr = TraceContext.start(5, 1.0).mark_arrival(0, 1.5).complete("sum", 1.75)
+    text = format_trace(tr)
+    assert "2 hops" in text
+    assert "filter=sum" in text
+    assert "end-to-end" in text
+
+
+# -- the merge filter ---------------------------------------------------------
+
+
+def _merge_ctx():
+    return FilterContext(node_rank=0, stream_id=0, n_children=2, now=lambda: 0.0)
+
+
+def test_telemetry_merge_filter():
+    a = Registry("a")
+    a.counter("c").inc(2)
+    b = Registry("b")
+    b.counter("c").inc(3)
+    pkts = [
+        Packet(0, 12, "%d %o", (1, a.snapshot()), src=10),
+        Packet(0, 12, "%d %o", (1, b.snapshot()), src=11),
+    ]
+    out = TelemetryMergeFilter().transform(pkts, _merge_ctx())
+    req_id, merged = out.values
+    assert req_id == 1
+    assert merged["counters"]["c"] == 5
+    assert merged["sources"] == ["a", "b"]
+
+
+def test_telemetry_merge_filter_rejects_bad_payloads():
+    snap = Registry("a").snapshot()
+    good = Packet(0, 12, "%d %o", (1, snap), src=10)
+    with pytest.raises(FilterError):
+        TelemetryMergeFilter().transform(
+            [good, Packet(0, 12, "%o", (snap,), src=11)], _merge_ctx()
+        )
+
+
+# -- end-to-end: instruments + in-tree reduction + tracing --------------------
+
+
+def test_live_gather_equals_flat_sum(telemetry_on, trace_all):
+    topo = balanced_topology(2, 2)  # 4 back-ends, 3 communication processes
+    traced = []
+    with Network(topo) as net:
+        s = net.new_stream(transform="sum", sync="wait_for_all")
+
+        def leaf(be):
+            be.wait_for_stream(s.stream_id)
+            for _ in range(2):
+                be.send(s.stream_id, FIRST_APPLICATION_TAG, "%d", 5)
+
+        threads = net.run_backends(leaf, join=False)
+        for _ in range(2):
+            pkt = s.recv(timeout=30)
+            assert pkt.values == (20,)
+            if pkt.trace is not None:
+                traced.append(pkt.trace)
+        for t in threads:
+            t.join(30)
+
+        aggregated = net.telemetry_snapshot()
+        local = merge_snapshots(
+            [n.telemetry.snapshot() for n in net.nodes.values()]
+            + [be.telemetry.snapshot() for be in net.backends]
+        )
+        assert not net.node_errors()
+
+    assert len(aggregated["sources"]) == 7
+    assert aggregated["counters"] == local["counters"]
+    up_in = aggregated["counters"]['tbon_node_packets_total{direction="up",point="in"}']
+    assert up_in == 2 * (4 + 2)  # 2 waves through 3 nodes' input sides
+
+    # Sampling at 1.0, every wave's critical path is traced end-to-end.
+    assert traced
+    for tr in traced:
+        assert [h.filter for h in tr.hops] == ["send", "sum", "sum"]
+        times = [t for hop in tr.hops for t in (hop.t_in, hop.t_out)]
+        assert times == sorted(times)
+
+
+def test_gather_with_telemetry_disabled_still_answers():
+    prev = TELEMETRY.enabled
+    TELEMETRY.enabled = False
+    try:
+        with Network(balanced_topology(2, 1)) as net:
+            snap = net.telemetry_snapshot()
+            assert len(snap["sources"]) == 3  # 2 back-ends + root
+            assert all(v == 0 for v in snap["counters"].values())
+    finally:
+        TELEMETRY.enabled = prev
