@@ -21,7 +21,12 @@ a faithful in-process emulation of the pre-change (seed) code paths:
 A sweep over transport × fanout × payload feeds EXPERIMENTS.md.  Results
 are written to ``BENCH_fastpath.json`` at the repo root.
 
-Run: ``PYTHONPATH=src python benchmarks/bench_fastpath.py [--quick]``
+``--reactor`` runs the high-fanout reactor-vs-threaded suite instead
+(sustained multicast + reduction waves at fanout 64 and 128, I/O thread
+counts) and writes ``BENCH_reactor.json`` — the ISSUE 4 acceptance
+numbers.
+
+Run: ``PYTHONPATH=src python benchmarks/bench_fastpath.py [--quick] [--reactor]``
 """
 
 from __future__ import annotations
@@ -275,6 +280,202 @@ def bench_multicast(
 
 
 # ---------------------------------------------------------------------------
+# Reactor vs threaded transport at high fanout (ISSUE 4)
+# ---------------------------------------------------------------------------
+
+def _make_socket_transport(kind: str):
+    if kind == "reactor":
+        from repro.transport.reactor import ReactorTransport
+
+        return ReactorTransport()
+    return TCPTransport()
+
+
+def _io_thread_count(kind: str) -> int:
+    """Live transport I/O threads (reactor loop or per-connection readers).
+
+    Filtered by the kind under test so readers from a just-shut-down
+    transport of the other kind, still winding down, don't pollute the
+    count.
+    """
+    prefix = "tbon-reactor" if kind == "reactor" else "tbon-tcp-read"
+    return sum(1 for t in threading.enumerate() if t.name.startswith(prefix))
+
+
+def bench_multicast_sustained(
+    kind: str,
+    fanout: int,
+    payload_nbytes: int,
+    n_iters: int,
+    repeats: int = 5,
+) -> tuple[float, int]:
+    """Delivered packets/sec of a k-way multicast, send start → last parse.
+
+    Unlike :func:`bench_multicast` (sender-side cost only), the clock
+    stops when every frame has been parsed into a child inbox — the
+    reactor enqueues asynchronously, so charging only the send loop
+    would credit it for work it had not done yet.  Both transports are
+    measured under the identical delivered-throughput definition.
+
+    Returns ``(best packets/sec, I/O thread count)`` — the thread count
+    is the O(1)-vs-O(fanout) acceptance datum.
+    """
+    topo = flat_topology(fanout)
+    transport = _make_socket_transport(kind)
+    transport.bind(topo)
+    try:
+        children = topo.children(0)
+        payload = bytes(payload_nbytes)
+        io_threads = _io_thread_count(kind)
+
+        best = 0.0
+        for rep in range(1, repeats + 1):
+            packets = [
+                Packet(1, TAG, "%ac", (payload,), src=0) for _ in range(n_iters)
+            ]
+            target = rep * n_iters * fanout
+            deadline = time.time() + 180
+            t0 = time.perf_counter()
+            for pkt in packets:
+                transport.multicast(0, children, Direction.DOWNSTREAM, pkt)
+            while sum(transport.inbox(c).qsize() for c in children) < target:
+                if time.time() > deadline:
+                    raise RuntimeError(
+                        f"sustained multicast bench ({kind}) lost frames"
+                    )
+                time.sleep(0.0005)
+            elapsed = time.perf_counter() - t0
+            best = max(best, n_iters * fanout / elapsed)
+    finally:
+        transport.shutdown()
+    return best, io_threads
+
+
+def bench_reduction_wave(
+    kind: str, fanout: int, n_waves: int, repeats: int = 3
+) -> tuple[float, int]:
+    """Leaf packets/sec of full sum-reduction waves over a live Network.
+
+    Every back-end sends ``n_waves`` values; the front-end receives
+    ``n_waves`` reduced results.  This exercises the whole data plane —
+    leaf sends, node filter pipeline, upstream forwarding — over real
+    sockets, where the threaded transport also pays for ~2×fanout reader
+    threads competing with the fanout application threads.  Best of
+    ``repeats`` fresh networks: with >100 runnable threads the
+    scheduler's mood swamps a single measurement.
+    """
+    from repro.core.network import Network
+
+    best = 0.0
+    io_threads = 0
+    for _ in range(repeats):
+        topo = flat_topology(fanout)
+        net = Network(topo, transport=_make_socket_transport(kind))
+        try:
+            io_threads = _io_thread_count(kind)
+            s = net.new_stream(transform="sum", sync="wait_for_all")
+
+            def leaf(be):
+                be.wait_for_stream(s.stream_id)
+                for _ in range(n_waves):
+                    be.send(s.stream_id, TAG, "%d", 1)
+
+            t0 = time.perf_counter()
+            threads = net.run_backends(leaf, join=False)
+            for _ in range(n_waves):
+                pkt = s.recv(timeout=300)
+                assert pkt.values[0] == fanout
+            elapsed = time.perf_counter() - t0
+            for t in threads:
+                t.join(30)
+            errors = net.node_errors()
+            if errors:
+                raise RuntimeError(f"reduction wave bench node errors: {errors}")
+        finally:
+            net.shutdown()
+        best = max(best, n_waves * fanout / elapsed)
+    return best, io_threads
+
+
+def run_reactor_suite(quick: bool, out_path: str) -> None:
+    """The ISSUE 4 acceptance suite: reactor vs threaded at high fanout."""
+    results: dict = {
+        "meta": {
+            "quick": quick,
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "suite": "reactor-vs-threaded",
+        }
+    }
+
+    fanouts = (16,) if quick else (64, 128)
+
+    multicast = []
+    for fanout in fanouts:
+        n = 20 if quick else 100
+        reps = 2 if quick else 5
+        threaded_pps, threaded_io = bench_multicast_sustained(
+            "threads", fanout, 64, n, repeats=reps
+        )
+        reactor_pps, reactor_io = bench_multicast_sustained(
+            "reactor", fanout, 64, n, repeats=reps
+        )
+        entry = {
+            "fanout": fanout,
+            "payload_bytes": 64,
+            "iters": n,
+            "threaded_pps": threaded_pps,
+            "reactor_pps": reactor_pps,
+            "speedup": reactor_pps / threaded_pps,
+            "threaded_io_threads": threaded_io,
+            "reactor_io_threads": reactor_io,
+        }
+        multicast.append(entry)
+        print(
+            f"sustained multicast fanout={fanout} 64B: "
+            f"threaded {threaded_pps:,.0f} ({threaded_io} io threads) -> "
+            f"reactor {reactor_pps:,.0f} ({reactor_io} io threads), "
+            f"{entry['speedup']:.2f}x"
+        )
+        if reactor_io > 2:
+            raise RuntimeError(
+                f"reactor used {reactor_io} I/O threads (acceptance bound: 2)"
+            )
+    results["multicast_sustained"] = multicast
+
+    waves = []
+    for fanout in fanouts:
+        n_waves = 5 if quick else 30
+        reps = 2 if quick else 3
+        threaded_pps, threaded_io = bench_reduction_wave(
+            "threads", fanout, n_waves, repeats=reps
+        )
+        reactor_pps, reactor_io = bench_reduction_wave(
+            "reactor", fanout, n_waves, repeats=reps
+        )
+        entry = {
+            "fanout": fanout,
+            "waves": n_waves,
+            "threaded_pps": threaded_pps,
+            "reactor_pps": reactor_pps,
+            "speedup": reactor_pps / threaded_pps,
+            "threaded_io_threads": threaded_io,
+            "reactor_io_threads": reactor_io,
+        }
+        waves.append(entry)
+        print(
+            f"reduction wave fanout={fanout}: "
+            f"threaded {threaded_pps:,.0f} ({threaded_io} io threads) -> "
+            f"reactor {reactor_pps:,.0f} ({reactor_io} io threads), "
+            f"{entry['speedup']:.2f}x"
+        )
+    results["reduction_wave"] = waves
+
+    Path(out_path).write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {out_path}")
+
+
+# ---------------------------------------------------------------------------
 # Driver
 # ---------------------------------------------------------------------------
 
@@ -284,7 +485,21 @@ def main() -> None:
     ap.add_argument(
         "--out", default=str(REPO_ROOT / "BENCH_fastpath.json"), help="output path"
     )
+    ap.add_argument(
+        "--reactor",
+        action="store_true",
+        help="run the reactor-vs-threaded high-fanout suite instead",
+    )
+    ap.add_argument(
+        "--reactor-out",
+        default=str(REPO_ROOT / "BENCH_reactor.json"),
+        help="output path for the --reactor suite",
+    )
     args = ap.parse_args()
+
+    if args.reactor:
+        run_reactor_suite(args.quick, args.reactor_out)
+        return
 
     q = args.quick
     results: dict = {

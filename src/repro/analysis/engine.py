@@ -28,6 +28,16 @@ _PACKET_MODULE = os.path.join("core", "packet.py")
 _TELEMETRY_PACKAGE = os.path.join("repro", "telemetry") + os.sep
 
 
+def _is_reactor_module(path: str) -> bool:
+    """TB601 scope: modules whose basename names the reactor.
+
+    Matching on the basename (rather than the exact transport path)
+    keeps the rule's fixture files in scope too, so the rule is testable
+    like every other one.
+    """
+    return "reactor" in os.path.basename(path)
+
+
 @dataclass
 class AnalysisResult:
     """Findings plus bookkeeping from one analysis run."""
@@ -93,6 +103,7 @@ def analyze_paths(paths: list[str]) -> AnalysisResult:
                 index,
                 skip_packet_mutation=path.endswith(_PACKET_MODULE),
                 skip_telemetry_instruments=_TELEMETRY_PACKAGE in path,
+                check_reactor_io=_is_reactor_module(path),
             )
         )
     result.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))

@@ -52,6 +52,7 @@ RULES: dict[str, str] = {
     "TB401": "bare 'except:' swallows everything including KeyboardInterrupt",
     "TB402": "broad 'except Exception' swallows the error without reporting it",
     "TB501": "telemetry instrument instantiated directly instead of through a Registry",
+    "TB601": "blocking socket send/recv call inside the reactor package (use the _nb_* helpers)",
 }
 
 _PRAGMA_RE = re.compile(r"#\s*tbon:\s*(?P<body>.*\S)\s*$")

@@ -718,6 +718,79 @@ class _TelemetryInstrumentVisitor(ast.NodeVisitor):
         self.generic_visit(node)
 
 
+# -- TB6xx: reactor I/O discipline -------------------------------------------------
+
+#: socket.socket methods that block (or raise BlockingIOError) on the
+#: event-loop thread.  Matched by attribute name: inside the reactor
+#: package *any* ``.send(...)``-shaped call is suspect enough to flag —
+#: false positives are suppressible, a blocked event loop is not.
+_BLOCKING_SOCKET_METHODS = frozenset(
+    {
+        "recv",
+        "recv_into",
+        "recvfrom",
+        "recvfrom_into",
+        "recvmsg",
+        "recvmsg_into",
+        "send",
+        "sendall",
+        "sendto",
+        "sendmsg",
+        "sendfile",
+    }
+)
+
+
+class _ReactorIOVisitor(ast.NodeVisitor):
+    """TB601: direct socket send/recv calls in the reactor package.
+
+    The reactor's contract is that every registered socket is
+    non-blocking and all I/O flows through the ``_nb_*`` helpers, which
+    translate EAGAIN into a ``None`` return.  A stray ``sock.sendall()``
+    or ``sock.recv()`` here either parks the single event-loop thread —
+    stalling every channel in the process at once — or raises
+    ``BlockingIOError`` from the hot path.  Only functions whose names
+    start with ``_nb_`` may touch the socket primitives directly; the
+    blocking bind-time handshake belongs in :mod:`repro.transport.tcp`.
+    """
+
+    def __init__(self, path: str, findings: list[Finding]) -> None:
+        self.path = path
+        self.findings = findings
+        self._exempt_depth = 0
+
+    def _visit_func(self, node: Any) -> None:
+        exempt = node.name.startswith("_nb_")
+        if exempt:
+            self._exempt_depth += 1
+        self.generic_visit(node)
+        if exempt:
+            self._exempt_depth -= 1
+
+    visit_FunctionDef = _visit_func
+    visit_AsyncFunctionDef = _visit_func
+
+    def visit_Call(self, node: ast.Call) -> None:
+        fn = node.func
+        if (
+            self._exempt_depth == 0
+            and isinstance(fn, ast.Attribute)
+            and fn.attr in _BLOCKING_SOCKET_METHODS
+        ):
+            self.findings.append(
+                Finding(
+                    "TB601",
+                    self.path,
+                    node.lineno,
+                    node.col_offset + 1,
+                    f"direct socket .{fn.attr}() call in the reactor package; "
+                    "all reactor I/O must go through the non-blocking _nb_* "
+                    "helpers so one peer can never block the event loop",
+                )
+            )
+        self.generic_visit(node)
+
+
 # -- entry point ----------------------------------------------------------------
 
 
@@ -729,6 +802,7 @@ def analyze_module(
     *,
     skip_packet_mutation: bool = False,
     skip_telemetry_instruments: bool = False,
+    check_reactor_io: bool = False,
 ) -> list[Finding]:
     """Run every rule over one parsed module; returns unsuppressed findings.
 
@@ -737,6 +811,9 @@ def analyze_module(
     memo fields).  ``skip_telemetry_instruments`` exempts the
     :mod:`repro.telemetry` package, where the Registry's get-or-create
     paths legitimately construct the instrument classes.
+    ``check_reactor_io`` turns on TB601 — it applies only to reactor
+    modules, where a blocking socket call would stall the whole event
+    loop.
     """
     findings: list[Finding] = []
     for line, message in pragmas.errors:
@@ -749,4 +826,6 @@ def analyze_module(
     _ExceptionVisitor(path, findings).visit(tree)
     if not skip_telemetry_instruments:
         _TelemetryInstrumentVisitor(path, findings).visit(tree)
+    if check_reactor_io:
+        _ReactorIOVisitor(path, findings).visit(tree)
     return [f for f in findings if not pragmas.suppressed(f.rule, f.line)]

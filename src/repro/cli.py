@@ -185,10 +185,19 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         for t in threads:
             t.join(30)
 
-        aggregated = net.telemetry_snapshot()
+        # The in-tree reduction covers per-node registries; the process
+        # registry (frame cache, transport sockets, reactor loop /
+        # send-queue instruments) is merged into both sides so transport
+        # backpressure is visible here and the equality check below
+        # still compares like with like.
+        from .telemetry.registry import GLOBAL as process_registry
+
+        process_snap = process_registry.snapshot()
+        aggregated = merge_snapshots([net.telemetry_snapshot(), process_snap])
         local = merge_snapshots(
             [n.telemetry.snapshot() for n in net.nodes.values()]
             + [be.telemetry.snapshot() for be in net.backends]
+            + [process_snap]
         )
         errors = net.node_errors()
 
@@ -292,7 +301,13 @@ def build_parser() -> argparse.ArgumentParser:
     ss.add_argument("--fanout", type=int, default=3)
     ss.add_argument("--depth", type=int, default=2)
     ss.add_argument("--waves", type=int, default=3)
-    ss.add_argument("--transport", choices=["tcp", "thread"], default="tcp")
+    ss.add_argument(
+        "--transport",
+        choices=["tcp", "reactor", "tcp-threads", "thread"],
+        default="tcp",
+        help="'tcp' resolves via TBON_TRANSPORT (reactor by default); "
+        "'reactor'/'tcp-threads' pick a socket implementation explicitly",
+    )
     ss.add_argument("--format", choices=["prom", "json", "both"], default="both")
     ss.set_defaults(fn=_cmd_stats)
 

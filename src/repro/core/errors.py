@@ -19,6 +19,7 @@ __all__ = [
     "StreamClosedError",
     "TransportError",
     "ChannelClosedError",
+    "ChannelBusyError",
     "NetworkShutdownError",
     "NodeFailureError",
     "RecoveryError",
@@ -73,6 +74,17 @@ class TransportError(TBONError):
 
 class ChannelClosedError(TransportError):
     """A send or receive was attempted on a closed FIFO channel."""
+
+
+class ChannelBusyError(TransportError):
+    """A non-blocking send found a bounded send queue at its high-water mark.
+
+    Only transports with bounded per-peer send queues raise this, and only
+    when configured to fail fast (``blocking_sends=False``) or when a
+    blocking send exceeds its stall timeout; the blocking default applies
+    backpressure by waiting for the queue to drain instead.  See
+    docs/PROTOCOL.md §7 (transport architectures / backpressure).
+    """
 
 
 class NetworkShutdownError(TBONError):

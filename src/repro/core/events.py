@@ -83,6 +83,29 @@ class Direction(Enum):
     UPSTREAM = "up"      # toward the front-end (reduction path)
     DOWNSTREAM = "down"  # toward the back-ends (multicast path)
 
+    @property
+    def wire_code(self) -> int:
+        """Single-byte code used in the socket transports' frame header.
+
+        The frame layout (docs/PROTOCOL.md §2) is
+        ``u32 length | u8 direction | i32 src``; this is the ``u8``:
+        0 = upstream, 1 = downstream.  Both the threaded TCP transport
+        and the reactor transport encode with this property and decode
+        with :meth:`from_wire`, so the two implementations cannot drift.
+        """
+        return 0 if self is Direction.UPSTREAM else 1
+
+    @classmethod
+    def from_wire(cls, code: int) -> "Direction":
+        """Inverse of :attr:`wire_code` for frame decoding."""
+        if code == 0:
+            return cls.UPSTREAM
+        if code == 1:
+            return cls.DOWNSTREAM
+        from .errors import ProtocolError
+
+        raise ProtocolError(f"unknown wire direction code {code!r}")
+
 
 @dataclass(frozen=True)
 class Envelope:

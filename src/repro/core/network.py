@@ -23,12 +23,13 @@ sockets.
 from __future__ import annotations
 
 import itertools
+import os
 import threading
 from typing import Any, Callable, Iterable, Sequence
 
 from ..analysis.locks import make_lock
 from .backend import BackEnd
-from .errors import NetworkShutdownError, StreamError, TopologyError
+from .errors import NetworkShutdownError, StreamError, TopologyError, TransportError
 from .events import (
     CONTROL_STREAM_ID,
     Direction,
@@ -49,14 +50,55 @@ from .topology import Topology
 
 __all__ = ["Network"]
 
+#: Environment variable selecting the socket transport implementation
+#: behind ``transport="tcp"`` (documented next to TBON_TELEMETRY /
+#: TBON_LOCKCHECK in the README).
+TRANSPORT_ENV_VAR = "TBON_TRANSPORT"
+
+
+def _make_socket_transport(kind: str) -> Any:
+    """Materialize a named localhost-TCP transport.
+
+    ``"tcp"`` resolves through :data:`TRANSPORT_ENV_VAR`: the
+    selector-reactor transport by default, or the legacy
+    thread-per-connection transport under ``TBON_TRANSPORT=threads``
+    (kept for one release as a fallback).  ``"reactor"`` and
+    ``"tcp-threads"`` name an implementation explicitly, bypassing the
+    environment.
+    """
+    if kind == "tcp":
+        env = os.environ.get(TRANSPORT_ENV_VAR, "").strip().lower()
+        if env in ("", "reactor", "tcp"):
+            kind = "reactor"
+        elif env in ("threads", "thread", "tcp-threads"):
+            kind = "tcp-threads"
+        else:
+            raise TransportError(
+                f"unknown {TRANSPORT_ENV_VAR} value {env!r} "
+                "(expected 'reactor' or 'threads')"
+            )
+    if kind == "reactor":
+        from ..transport.reactor import ReactorTransport
+
+        return ReactorTransport()
+    from ..transport.tcp import TCPTransport
+
+    return TCPTransport()
+
 
 class Network:
     """An instantiated tree-based overlay network.
 
     Args:
         topology: the process tree to materialize.
-        transport: ``"thread"`` (default), ``"tcp"``, or a pre-built
+        transport: ``"thread"`` (default), ``"tcp"``, ``"reactor"``,
+            ``"tcp-threads"``, or a pre-built
             :class:`~repro.transport.base.Transport` instance.
+            ``"tcp"`` selects the default socket implementation — the
+            selector-reactor transport — unless the ``TBON_TRANSPORT``
+            environment variable names one explicitly (``reactor`` or
+            ``threads``, the legacy thread-per-connection fallback kept
+            for one release).
         registry: filter registry (defaults to the process-wide one with
             MRNet's built-ins).
     """
@@ -81,10 +123,8 @@ class Network:
             from ..transport.local import ThreadTransport
 
             transport = ThreadTransport()
-        elif transport == "tcp":
-            from ..transport.tcp import TCPTransport
-
-            transport = TCPTransport()
+        elif transport in ("tcp", "reactor", "tcp-threads"):
+            transport = _make_socket_transport(transport)
         self.transport = transport
         self.transport.bind(topology)
 

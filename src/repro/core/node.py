@@ -17,13 +17,14 @@ re-uses :class:`StreamState`'s filter pipeline with virtual time.
 
 from __future__ import annotations
 
+import logging
 import queue
 import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from ..telemetry.registry import Registry, SIZE_BOUNDS, TELEMETRY as _TEL
-from .errors import ChannelClosedError, FilterError, ProtocolError
+from .errors import ChannelClosedError, FilterError, ProtocolError, TransportError
 from .events import (
     CONTROL_STREAM_ID,
     Direction,
@@ -44,6 +45,8 @@ from .packet import Packet
 from .topology import Topology
 
 __all__ = ["StreamState", "NodeRunner"]
+
+_LOG = logging.getLogger(__name__)
 
 
 @dataclass
@@ -196,6 +199,16 @@ class NodeRunner:
             for env in batch:
                 try:
                     self.handle(env)
+                except ChannelClosedError as exc:
+                    # A send inside handle() raced channel teardown.  When
+                    # the transport reports it is closing this is an
+                    # orderly shutdown (the reactor tears all channels
+                    # down at once), not a node failure.
+                    if getattr(self.transport, "closing", False):
+                        self.running = False
+                        break
+                    self.error = exc
+                    self._report_error(exc)
                 except Exception as exc:  # surface, don't die silently
                     self.error = exc
                     self._report_error(exc)
@@ -504,7 +517,18 @@ class NodeRunner:
             "%d %s %s",
             (self.rank, type(exc).__name__, str(exc)),
         )
-        self._send_root_or_up(pkt)
+        try:
+            self._send_root_or_up(pkt)
+        except TransportError as report_exc:
+            # Reporting itself raced channel teardown.  The error is
+            # already recorded in self.error; only the front-end's copy
+            # of the TAG_ERROR packet is lost.
+            if not getattr(self.transport, "closing", False):
+                _LOG.warning(
+                    "node %d could not report error upstream: %s",
+                    self.rank,
+                    report_exc,
+                )
 
     def _send_root_or_up(self, pkt: Packet) -> None:
         if self._is_root:

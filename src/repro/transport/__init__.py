@@ -3,14 +3,18 @@
 from .base import Inbox, Transport
 from .local import ThreadTransport
 
-__all__ = ["Inbox", "Transport", "ThreadTransport", "TCPTransport"]
+__all__ = ["Inbox", "Transport", "ThreadTransport", "TCPTransport", "ReactorTransport"]
 
 
 def __getattr__(name: str):
-    # TCPTransport is imported lazily: it spins up socket machinery that
-    # pure in-process users never need.
+    # The socket transports are imported lazily: they spin up socket
+    # machinery that pure in-process users never need.
     if name == "TCPTransport":
         from .tcp import TCPTransport
 
         return TCPTransport
+    if name == "ReactorTransport":
+        from .reactor import ReactorTransport
+
+        return ReactorTransport
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

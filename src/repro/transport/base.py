@@ -52,6 +52,24 @@ class Inbox:
             raise ChannelClosedError("inbox is closed")
         self._q.put(env)
 
+    def put_many(self, envs: Sequence[Envelope]) -> None:
+        """Append several envelopes under one queue-lock round-trip.
+
+        The receive-side mirror of :meth:`get_batch`'s ``_drain_locked``:
+        a reader that parsed a burst of frames from one bulk ``recv``
+        posts them all with a single lock acquisition and wakeup instead
+        of one per packet.
+        """
+        if self._closed:
+            raise ChannelClosedError("inbox is closed")
+        if not envs:
+            return
+        q = self._q
+        with q.mutex:
+            q.queue.extend(envs)
+            q.unfinished_tasks += len(envs)
+            q.not_empty.notify(len(envs))
+
     def get(self, timeout: float | None = None) -> Envelope:
         """Block for the next envelope.
 
@@ -118,10 +136,47 @@ class Transport(abc.ABC):
 
     Lifecycle: ``bind(topology)`` once, then :meth:`send` along tree
     edges, then :meth:`shutdown`.  Ranks are the topology's ranks.
+
+    Backpressure contract (docs/PROTOCOL.md §7): transports advertise
+    their send-side flow-control policy through two attributes so
+    applications can reason about what a slow consumer does to senders:
+
+    * :attr:`send_queue_limit` — frames a bounded transport will queue
+      per peer before ``send()`` stops accepting more.  ``None`` means
+      unbounded buffering (no transport-level backpressure; the threaded
+      TCP transport and the in-process thread transport behave this way,
+      bounded only by the kernel socket buffer / memory).
+    * :attr:`blocking_sends` — with a bounded queue, ``True`` makes
+      ``send()`` block until space frees (backpressure propagates to the
+      producing node), ``False`` makes it fail fast with
+      :class:`~repro.core.errors.ChannelBusyError`.
     """
+
+    #: Per-peer send-queue bound in frames; ``None`` = unbounded.
+    send_queue_limit: int | None = None
+    #: Bounded-queue policy: block at the high-water mark (True) or raise
+    #: :class:`~repro.core.errors.ChannelBusyError` immediately (False).
+    blocking_sends: bool = True
 
     def __init__(self) -> None:
         self.topology: Topology | None = None
+
+    @property
+    def closing(self) -> bool:
+        """True once :meth:`shutdown` has begun tearing channels down.
+
+        Node event loops consult this to tell an orderly teardown (a send
+        racing shutdown raises :class:`ChannelClosedError`, which is
+        expected) from a genuine mid-run channel failure.
+        """
+        return False
+
+    def backpressure_policy(self) -> dict[str, Any]:
+        """The transport's send-side flow-control contract as a dict."""
+        return {
+            "send_queue_limit": self.send_queue_limit,
+            "blocking_sends": self.blocking_sends,
+        }
 
     @abc.abstractmethod
     def bind(self, topology: Topology) -> None:

@@ -1,0 +1,637 @@
+"""Reactor transport: one selector event loop for every TCP channel.
+
+The threaded TCP transport (:mod:`repro.transport.tcp`) spends a parent's
+scaling headroom on O(fanout) blocking reader threads and one blocking
+``sendmsg`` syscall per frame.  This module keeps the identical wire
+format — ``u32 length | u8 direction | i32 src | packet bytes``, the same
+rank-hello bind handshake, the same serialize-once multicast — but drives
+every socket from a **single** I/O thread:
+
+* **Read side** — sockets are non-blocking, so reads are partial by
+  nature; :class:`_FrameDecoder` turns PR 1's ``recv_into`` buffer
+  discipline into an explicit state machine (header state, then body
+  state) over reusable buffers.  Small frames are read in bulk — one
+  ``recv`` into a per-connection scratch buffer can carry hundreds of
+  frames, which are fed through the decoder from memory and delivered
+  to the rank's inbox as one batch (:meth:`Inbox.put_many`); large
+  bodies are received straight into the decoder's body buffer to avoid
+  the extra copy.  A completed frame is parsed with
+  :meth:`Packet.from_bytes` over a view, exactly like the threaded
+  reader.
+* **Write side** — ``send()`` never touches the socket.  It packs the
+  9-byte frame header, appends ``(header, body)`` to the peer's bounded
+  send queue and wakes the reactor (one wakeup byte per queue
+  *transition*, not per frame).  The reactor drains a queue with a single
+  vectored ``sendmsg`` of up to :attr:`Reactor.coalesce_max` coalesced
+  frames, and keeps ``EVENT_WRITE`` interest registered only while the
+  queue is non-empty, so an idle tree polls nothing.
+* **Backpressure** — the per-peer queue is bounded.  At the high-water
+  mark ``send()`` blocks on a condition until the reactor drains frames
+  (backpressure propagates to the producing node), or fails fast with
+  :class:`ChannelBusyError` when the transport is configured
+  non-blocking.  The policy is advertised via
+  :attr:`Transport.send_queue_limit` / :attr:`Transport.blocking_sends`.
+  Inboxes stay unbounded, so the reactor thread itself can never block —
+  a prerequisite for deadlock freedom with one loop serving both
+  directions of every edge.
+
+Static discipline: tboncheck rule TB601 forbids direct blocking socket
+calls in this module.  All socket I/O goes through the ``_nb_*`` helpers
+(which translate EAGAIN into ``None``), and the blocking bind-time
+handshake is delegated to :func:`repro.transport.tcp.establish_edges`.
+
+Selected by default for ``transport="tcp"``; set ``TBON_TRANSPORT=threads``
+to fall back to the threaded implementation for one release.
+"""
+
+from __future__ import annotations
+
+import logging
+import selectors
+import socket
+import threading
+import time
+from collections import deque
+from typing import Any, Optional, Sequence
+
+from ..analysis.locks import make_lock
+from ..core.errors import (
+    ChannelBusyError,
+    ChannelClosedError,
+    SerializationError,
+    TransportError,
+)
+from ..core.events import Direction, Envelope
+from ..core.packet import Packet
+from ..core.topology import Topology
+from ..telemetry.registry import GLOBAL as _TELEMETRY, SIZE_BOUNDS, TELEMETRY as _TEL
+from .base import Inbox, Transport
+from .tcp import _HDR, establish_edges
+
+__all__ = ["ReactorTransport", "Reactor"]
+
+_LOG = logging.getLogger(__name__)
+
+#: Body remainders at least this big are received straight into the
+#: decoder's body buffer; smaller reads go through the per-connection
+#: scratch buffer so one ``recv`` can carry a whole burst of frames.
+_BULK_DIRECT = 65536
+
+# Process-wide reactor instruments (GLOBAL registry, created at import so
+# the disabled hot path stays one ``_TEL.enabled`` attribute check).
+_m_iterations = _TELEMETRY.counter("tbon_reactor_loop_iterations_total")
+_m_coalesced = _TELEMETRY.histogram(
+    "tbon_reactor_frames_per_sendmsg", bounds=SIZE_BOUNDS
+)
+_m_qdepth = _TELEMETRY.gauge("tbon_reactor_send_queue_depth")
+_m_stalls = _TELEMETRY.counter("tbon_reactor_backpressure_stalls_total")
+_m_tx_bytes = _TELEMETRY.counter(
+    "tbon_transport_bytes_total", {"transport": "reactor", "direction": "sent"}
+)
+_m_rx_bytes = _TELEMETRY.counter(
+    "tbon_transport_bytes_total", {"transport": "reactor", "direction": "received"}
+)
+
+
+def _nb_recv_into(sock: socket.socket, view: memoryview) -> Optional[int]:
+    """One ``recv_into`` on a non-blocking socket.
+
+    Returns the byte count (0 = orderly EOF from the peer) or ``None``
+    when the socket has nothing ready (EAGAIN) — the reactor's signal to
+    move on to the next event instead of blocking.
+    """
+    try:
+        return sock.recv_into(view)
+    except (BlockingIOError, InterruptedError):
+        return None
+
+
+def _nb_sendmsg(sock: socket.socket, buffers: Sequence[memoryview]) -> Optional[int]:
+    """One vectored ``sendmsg`` on a non-blocking socket.
+
+    Returns the bytes accepted by the kernel, or ``None`` when the socket
+    buffer is full (EAGAIN) — the queue stays write-registered and the
+    selector re-reports writability once the peer drains.
+    """
+    try:
+        return sock.sendmsg(buffers)
+    except (BlockingIOError, InterruptedError):
+        return None
+
+
+def _nb_wake_send(sock: socket.socket) -> None:
+    """Write one wakeup byte, tolerating a full pipe or concurrent close.
+
+    A full wakeup pipe means the reactor already has a pending wakeup it
+    has not drained yet, so dropping the byte loses nothing.
+    """
+    try:
+        sock.send(b"\x01")
+    except (BlockingIOError, InterruptedError):
+        pass
+    except OSError:
+        pass  # torn down concurrently with shutdown
+
+
+class _FrameDecoder:
+    """Incremental state machine over the shared frame format.
+
+    Usage from the reactor loop::
+
+        view = decoder.recv_view()      # where the next recv_into lands
+        n = _nb_recv_into(sock, view)
+        frame = decoder.advance(n)      # (dir_code, src, body_view) | None
+
+    Two states: filling the 9-byte header, then filling the body whose
+    length the header announced.  The body buffer is reused across frames
+    (grown to the largest frame seen), so steady-state decoding allocates
+    nothing beyond the kernel's copy — PR 1's ``recv_into`` discipline
+    carried over to partial, non-blocking reads.  The returned body view
+    is only valid until the next ``advance`` that re-enters body state;
+    :meth:`Packet.from_bytes` copies what it keeps, same as the threaded
+    reader.
+    """
+
+    __slots__ = ("_hdr", "_body", "_got", "_length", "_dir", "_src", "_in_body")
+
+    def __init__(self) -> None:
+        self._hdr = bytearray(_HDR.size)
+        self._body = bytearray(65536)
+        self._got = 0
+        self._length = 0
+        self._dir = 0
+        self._src = 0
+        self._in_body = False
+
+    def recv_view(self) -> memoryview:
+        """The slice of the current buffer still waiting for bytes."""
+        if self._in_body:
+            return memoryview(self._body)[self._got : self._length]
+        return memoryview(self._hdr)[self._got :]
+
+    def advance(self, n: int) -> Optional[tuple[int, int, memoryview]]:
+        """Consume ``n`` bytes just written into :meth:`recv_view`.
+
+        Returns a completed ``(dir_code, src, body_view)`` frame, or
+        ``None`` while the frame is still partial.
+        """
+        self._got += n
+        if not self._in_body:
+            if self._got < _HDR.size:
+                return None
+            self._length, self._dir, self._src = _HDR.unpack(self._hdr)
+            if self._length > len(self._body):
+                self._body = bytearray(self._length)
+            self._got = 0
+            self._in_body = True
+            if self._length > 0:
+                return None
+            # Degenerate zero-length body: the frame is already complete.
+        if self._got < self._length:
+            return None
+        view = memoryview(self._body)[: self._length]
+        self._got = 0
+        self._in_body = False
+        return (self._dir, self._src, view)
+
+
+class _ReactorConnection:
+    """One non-blocking socket in the reactor: decoder + bounded send queue.
+
+    Producer threads only touch :meth:`enqueue`; ``handle_read`` /
+    ``handle_write`` run exclusively on the reactor thread (plus tests
+    that drive them directly with the reactor stopped).
+    """
+
+    def __init__(
+        self, sock: socket.socket, inbox: Inbox, owner_rank: int, reactor: "Reactor"
+    ) -> None:
+        self.sock = sock
+        self.inbox = inbox
+        self.owner_rank = owner_rank
+        self.reactor = reactor
+        self.decoder = _FrameDecoder()
+        self._lock = make_lock("reactor_sendq")
+        self._ready = threading.Condition(self._lock)
+        # Pending (header, body) frames; depth counts queued + in-flight
+        # frames so backpressure releases only on bytes actually flushed.
+        self._queue: deque[tuple[bytes, bytes]] = deque()  # tbon: lock=_lock
+        self._depth = 0  # tbon: lock=_lock
+        self._write_armed = False  # tbon: lock=_lock
+        self.closed = False  # tbon: lock=_lock
+        # Partially written sendmsg vector (reactor thread only).
+        self._inflight: list[memoryview] = []
+        self._inflight_frames = 0
+        # Bulk-read landing zone (reactor thread only).
+        self._scratch = memoryview(bytearray(_BULK_DIRECT))
+        sock.setblocking(False)
+
+    # -- producer side (any thread) ------------------------------------------
+    def enqueue(
+        self,
+        header: bytes,
+        body: bytes,
+        *,
+        block: bool,
+        timeout: float,
+        high_water: int,
+    ) -> None:
+        """Queue one frame, applying the transport's backpressure policy."""
+        with self._lock:
+            if self._depth >= high_water:
+                if not block:
+                    raise ChannelBusyError(
+                        f"send queue for rank {self.owner_rank} is at its "
+                        f"high-water mark ({high_water} frames)"
+                    )
+                if _TEL.enabled:
+                    _m_stalls.inc()
+                deadline = time.monotonic() + timeout
+                while self._depth >= high_water:
+                    if self.closed:
+                        raise ChannelClosedError(
+                            f"reactor channel for rank {self.owner_rank} closed"
+                        )
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise ChannelBusyError(
+                            f"send to rank {self.owner_rank} stalled for "
+                            f"{timeout:.1f}s at the high-water mark "
+                            f"({high_water} frames)"
+                        )
+                    self._ready.wait(remaining)
+            if self.closed:
+                raise ChannelClosedError(
+                    f"reactor channel for rank {self.owner_rank} closed"
+                )
+            self._queue.append((header, body))
+            self._depth += 1
+            if _TEL.enabled:
+                _m_qdepth.set(self._depth)
+            if not self._write_armed:
+                self._write_armed = True
+                self.reactor.request_write(self)
+
+    # -- reactor side --------------------------------------------------------
+    def handle_read(self) -> None:
+        """Drain readable bytes, delivering every completed frame.
+
+        Two read strategies per the module docstring: a body with at
+        least :data:`_BULK_DIRECT` bytes outstanding is received straight
+        into the decoder's body buffer (no extra copy); everything else
+        goes through one bulk ``recv`` into the scratch buffer, which is
+        then fed through the decoder frame by frame — at 64-byte payloads
+        that is two syscalls and one inbox lock round-trip for a burst
+        that previously cost two syscalls and a lock *per frame*.
+        """
+        decoder = self.decoder
+        scratch = self._scratch
+        while True:
+            view = decoder.recv_view()
+            if len(view) >= _BULK_DIRECT:
+                n = _nb_recv_into(self.sock, view)
+                if n is None:
+                    return
+                if n == 0:
+                    raise ConnectionError("peer closed")
+                frame = decoder.advance(n)
+                if frame is not None:
+                    self._deliver_one(frame)
+                continue
+            n = _nb_recv_into(self.sock, scratch)
+            if n is None:
+                return
+            if n == 0:
+                raise ConnectionError("peer closed")
+            batch: list[Envelope] = []
+            off = 0
+            while off < n:
+                view = decoder.recv_view()
+                take = len(view)
+                if take > n - off:
+                    take = n - off
+                view[:take] = scratch[off : off + take]
+                off += take
+                frame = decoder.advance(take)
+                if frame is not None:
+                    dir_code, src, body = frame
+                    batch.append(
+                        Envelope(
+                            src=src,
+                            direction=Direction.from_wire(dir_code),
+                            packet=Packet.from_bytes(body),
+                        )
+                    )
+                    if _TEL.enabled:
+                        _m_rx_bytes.inc(_HDR.size + len(body))
+            if len(batch) == 1:
+                self.inbox.put(batch[0])
+            elif batch:
+                self.inbox.put_many(batch)
+
+    def _deliver_one(self, frame: tuple[int, int, memoryview]) -> None:
+        dir_code, src, body = frame
+        self.inbox.put(
+            Envelope(
+                src=src,
+                direction=Direction.from_wire(dir_code),
+                packet=Packet.from_bytes(body),
+            )
+        )
+        if _TEL.enabled:
+            _m_rx_bytes.inc(_HDR.size + len(body))
+
+    def handle_write(self) -> None:
+        """Flush queued frames: coalesced vectored writes until EAGAIN."""
+        while True:
+            if not self._inflight:
+                with self._lock:
+                    take = min(len(self._queue), self.reactor.coalesce_max)
+                    if take == 0:
+                        # Fully drained: drop EVENT_WRITE interest so an
+                        # idle channel costs the selector nothing.
+                        self._write_armed = False
+                        self.reactor.set_write_interest(self, False)
+                        return
+                    frames = [self._queue.popleft() for _ in range(take)]
+                vector: list[memoryview] = []
+                for header, body in frames:
+                    vector.append(memoryview(header))
+                    vector.append(memoryview(body))
+                self._inflight = vector
+                self._inflight_frames = take
+                if _TEL.enabled:
+                    _m_coalesced.observe(take)
+            sent = _nb_sendmsg(self.sock, self._inflight)
+            if sent is None:
+                self.reactor.set_write_interest(self, True)
+                return  # kernel buffer full; selector re-reports writable
+            if _TEL.enabled:
+                _m_tx_bytes.inc(sent)
+            vector = self._inflight
+            while vector and sent >= len(vector[0]):
+                sent -= len(vector[0])
+                vector.pop(0)
+            if vector:
+                if sent:
+                    vector[0] = vector[0][sent:]
+                self.reactor.set_write_interest(self, True)
+                return  # partial write; resume this vector on next wakeup
+            done = self._inflight_frames
+            self._inflight = []
+            self._inflight_frames = 0
+            with self._lock:
+                self._depth -= done
+                if _TEL.enabled:
+                    _m_qdepth.set(self._depth)
+                self._ready.notify_all()
+
+    def close(self) -> None:
+        """Mark closed and release every producer blocked on backpressure."""
+        with self._lock:
+            self.closed = True
+            self._ready.notify_all()
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+class Reactor:
+    """The single-threaded I/O event loop shared by every connection.
+
+    Producer threads never touch the selector; they append to the
+    pending-write list and poke the wakeup pipe (:meth:`request_write`),
+    and the reactor thread applies the interest changes itself — selector
+    mutation stays single-threaded once the loop runs.
+    """
+
+    def __init__(self, *, coalesce_max: int = 32, name: str = "tbon-reactor-io"):
+        # Vectored-write coalescing bound; well under IOV_MAX (1024 on
+        # Linux) and big enough to amortize syscalls across a burst.
+        self.coalesce_max = coalesce_max
+        self._selector = selectors.DefaultSelector()
+        self._wake_r, self._wake_w = socket.socketpair()
+        self._wake_r.setblocking(False)
+        self._wake_w.setblocking(False)
+        self._selector.register(self._wake_r, selectors.EVENT_READ, None)
+        self._plock = make_lock("reactor_pending")
+        self._pending: list[_ReactorConnection] = []  # tbon: lock=_plock
+        self._conns: list[_ReactorConnection] = []
+        self._closing = threading.Event()
+        self._started = False
+        self._thread = threading.Thread(target=self._run, name=name, daemon=True)
+
+    # -- registration (bind time, before the loop starts) --------------------
+    def register(self, conn: _ReactorConnection) -> None:
+        self._conns.append(conn)
+        self._selector.register(conn.sock, selectors.EVENT_READ, conn)
+
+    def start(self) -> None:
+        self._started = True
+        self._thread.start()
+
+    # -- producer-facing wakeup ----------------------------------------------
+    def request_write(self, conn: _ReactorConnection) -> None:
+        """Ask the loop to arm EVENT_WRITE for ``conn`` (any thread)."""
+        with self._plock:
+            self._pending.append(conn)
+        _nb_wake_send(self._wake_w)
+
+    # -- reactor thread ------------------------------------------------------
+    def set_write_interest(self, conn: _ReactorConnection, on: bool) -> None:
+        events = selectors.EVENT_READ | (selectors.EVENT_WRITE if on else 0)
+        try:
+            self._selector.modify(conn.sock, events, conn)
+        except (KeyError, ValueError, OSError):
+            pass  # connection already unregistered (teardown race)
+
+    def _drain_wakeups(self) -> None:
+        buf = memoryview(bytearray(4096))
+        while _nb_recv_into(self._wake_r, buf):
+            pass
+        with self._plock:
+            pending, self._pending = self._pending, []
+        for conn in pending:
+            if conn.closed:
+                continue
+            try:
+                # Flush opportunistically right now; handle_write arms
+                # EVENT_WRITE itself if the kernel buffer pushes back.
+                conn.handle_write()
+            except (ConnectionError, OSError, ChannelClosedError) as exc:
+                self._drop(conn, exc)
+
+    def _run(self) -> None:
+        while not self._closing.is_set():
+            try:
+                events = self._selector.select()
+            except OSError:
+                break  # selector torn down concurrently with stop()
+            if _TEL.enabled:
+                _m_iterations.inc()
+            if self._closing.is_set():
+                break
+            for key, mask in events:
+                conn = key.data
+                if conn is None:
+                    self._drain_wakeups()
+                    continue
+                try:
+                    if mask & selectors.EVENT_READ:
+                        conn.handle_read()
+                    if mask & selectors.EVENT_WRITE:
+                        conn.handle_write()
+                except (
+                    ConnectionError,
+                    OSError,
+                    ChannelClosedError,
+                    SerializationError,
+                ) as exc:
+                    self._drop(conn, exc)
+
+    def _drop(self, conn: _ReactorConnection, exc: Exception) -> None:
+        try:
+            self._selector.unregister(conn.sock)
+        except (KeyError, ValueError, OSError):
+            pass
+        conn.close()
+        if not self._closing.is_set():
+            _LOG.warning(
+                "reactor connection for rank %d terminated: %s",
+                conn.owner_rank,
+                exc,
+            )
+
+    def stop(self) -> None:
+        """Stop the loop, close every socket, release blocked senders."""
+        self._closing.set()
+        _nb_wake_send(self._wake_w)
+        if self._started:
+            self._thread.join(5.0)
+        for conn in self._conns:
+            conn.close()
+        try:
+            self._selector.close()
+        except OSError:
+            pass
+        self._wake_r.close()
+        self._wake_w.close()
+
+
+class ReactorTransport(Transport):
+    """Localhost-TCP channels multiplexed onto one reactor thread.
+
+    Same wire format, bind handshake and FIFO/delivery guarantees as
+    :class:`~repro.transport.tcp.TCPTransport`, with O(1) I/O threads per
+    process instead of O(edges), coalesced vectored writes, and bounded
+    send queues providing real backpressure (see the module docstring and
+    docs/PROTOCOL.md §7).
+
+    Args:
+        host: bind address (localhost only, as with the threaded transport).
+        connect_timeout: bind-time accept/connect timeout in seconds.
+        max_queue_frames: per-peer send-queue high-water mark in frames.
+        block_on_full: True → ``send()`` blocks at the high-water mark;
+            False → ``send()`` raises :class:`ChannelBusyError`.
+        send_block_timeout: cap on one blocking-send stall, after which
+            :class:`ChannelBusyError` is raised anyway (guards against a
+            wedged peer turning backpressure into a permanent hang).
+        coalesce_max: frames coalesced into one vectored ``sendmsg``.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        connect_timeout: float = 10.0,
+        *,
+        max_queue_frames: int = 1024,
+        block_on_full: bool = True,
+        send_block_timeout: float = 30.0,
+        coalesce_max: int = 32,
+    ):
+        super().__init__()
+        if max_queue_frames < 1:
+            raise TransportError("max_queue_frames must be >= 1")
+        self.host = host
+        self.connect_timeout = connect_timeout
+        self.send_queue_limit = int(max_queue_frames)
+        self.blocking_sends = bool(block_on_full)
+        self.send_block_timeout = send_block_timeout
+        self._reactor = Reactor(coalesce_max=coalesce_max)
+        self._inboxes: dict[int, Inbox] = {}
+        # (owner_rank, peer_rank) -> connection used by owner to reach peer
+        self._conns: dict[tuple[int, int], _ReactorConnection] = {}
+        self._listeners: dict[int, socket.socket] = {}
+        self._closing = threading.Event()
+
+    @property
+    def closing(self) -> bool:
+        return self._closing.is_set()
+
+    def bind(self, topology: Topology) -> None:
+        if self.topology is not None:
+            raise TransportError("transport already bound")
+        self.topology = topology
+        self._inboxes = {rank: Inbox() for rank in topology.ranks}
+
+        def attach(owner: int, peer: int, sock: socket.socket) -> None:
+            conn = _ReactorConnection(
+                sock, self._inboxes[owner], owner, self._reactor
+            )
+            self._conns[(owner, peer)] = conn
+            self._reactor.register(conn)
+
+        self._listeners = establish_edges(
+            self.host, self.connect_timeout, topology, attach
+        )
+        missing = [
+            e for e in topology.iter_edges() if (e[0], e[1]) not in self._conns
+        ]
+        if missing:
+            raise TransportError(f"reactor edges failed to establish: {missing}")
+        self._reactor.start()
+
+    def inbox(self, rank: int) -> Inbox:
+        try:
+            return self._inboxes[rank]
+        except KeyError:
+            raise TransportError(f"rank {rank} has no inbox (not bound?)") from None
+
+    def _enqueue(self, src: int, dst: int, header: bytes, body: bytes) -> None:
+        conn = self._conns.get((src, dst))
+        if conn is None or self._closing.is_set():
+            raise ChannelClosedError(f"no reactor connection {src}->{dst}")
+        conn.enqueue(
+            header,
+            body,
+            block=self.blocking_sends,
+            timeout=self.send_block_timeout,
+            high_water=self.send_queue_limit,
+        )
+
+    def send(self, src: int, dst: int, direction: Direction, packet: Any) -> None:
+        self._check_edge(src, dst)
+        body = packet.to_bytes()
+        header = _HDR.pack(len(body), direction.wire_code, src)
+        self._enqueue(src, dst, header, body)
+
+    def multicast(
+        self, src: int, dsts: Sequence[int], direction: Direction, packet: Any
+    ) -> None:
+        """Serialize-once multicast: one ``to_bytes``, one header pack, k
+        queue appends — the k ``sendmsg`` calls collapse further through
+        coalescing on the reactor thread."""
+        body = packet.to_bytes()
+        header = _HDR.pack(len(body), direction.wire_code, src)
+        for dst in dsts:
+            self._check_edge(src, dst)
+            self._enqueue(src, dst, header, body)
+
+    def shutdown(self) -> None:
+        self._closing.set()
+        self._reactor.stop()
+        for srv in self._listeners.values():
+            srv.close()
+        for inbox in self._inboxes.values():
+            inbox.close()

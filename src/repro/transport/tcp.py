@@ -40,7 +40,12 @@ from ..core.topology import Topology
 from ..telemetry.registry import GLOBAL as _TELEMETRY, TELEMETRY as _TEL
 from .base import Inbox, Transport
 
-__all__ = ["TCPTransport"]
+__all__ = [
+    "TCPTransport",
+    "establish_edges",
+    "send_rank_hello",
+    "recv_rank_hello",
+]
 
 _LOG = logging.getLogger(__name__)
 
@@ -63,8 +68,10 @@ _m_recv_lat = _TELEMETRY.histogram(
 _HDR = struct.Struct("<IBi")
 _RANK_HELLO = struct.Struct("<i")
 
-_DIR_CODE = {Direction.UPSTREAM: 0, Direction.DOWNSTREAM: 1}
-_CODE_DIR = {0: Direction.UPSTREAM, 1: Direction.DOWNSTREAM}
+# Direction <-> u8 wire code; the codes themselves live on Direction so
+# the threaded and reactor framers share one encoding.
+_DIR_CODE = {d: d.wire_code for d in Direction}
+_CODE_DIR = {d.wire_code: d for d in Direction}
 
 
 def _recv_into_exact(sock: socket.socket, view: memoryview) -> None:
@@ -81,6 +88,90 @@ def _recv_exact(sock: socket.socket, n: int) -> bytes:
     buf = bytearray(n)
     _recv_into_exact(sock, memoryview(buf))
     return bytes(buf)
+
+
+def send_rank_hello(sock: socket.socket, rank: int) -> None:
+    """Blocking half of the connect handshake: announce our rank.
+
+    Lives here (not in the reactor module) because bind-time sockets are
+    still blocking; the reactor package is forbidden from issuing direct
+    blocking socket calls (tboncheck TB601).
+    """
+    sock.sendall(_RANK_HELLO.pack(rank))
+
+
+def recv_rank_hello(sock: socket.socket) -> int:
+    """Blocking accept half of the handshake: read the peer's rank."""
+    (rank,) = _RANK_HELLO.unpack(_recv_exact(sock, _RANK_HELLO.size))
+    return rank
+
+
+def establish_edges(
+    host: str,
+    connect_timeout: float,
+    topology: Topology,
+    on_connection: Any,
+) -> dict[int, socket.socket]:
+    """Open every tree-edge socket pair and hand them to ``on_connection``.
+
+    One listening socket per rank with children; children connect
+    child→parent and announce themselves with the rank hello.  Each
+    established socket (TCP_NODELAY set, still blocking) is passed to
+    ``on_connection(owner_rank, peer_rank, sock)`` — once for the
+    parent-side socket and once for the child-side socket of each edge.
+    Accepting runs on transient per-listener threads so a wide flat
+    topology binds in one round trip, not fanout round trips.
+
+    Shared by the threaded and reactor transports; returns the listener
+    sockets by rank (the caller owns closing them at shutdown).
+    """
+    listeners: dict[int, socket.socket] = {}
+    ports: dict[int, int] = {}
+    for rank in topology.ranks:
+        if topology.children(rank):
+            srv = socket.create_server((host, 0))
+            srv.settimeout(connect_timeout)
+            listeners[rank] = srv
+            ports[rank] = srv.getsockname()[1]
+
+    accept_errors: list[Exception] = []
+
+    def accept_all(rank: int, srv: socket.socket, n: int) -> None:
+        try:
+            for _ in range(n):
+                conn, _addr = srv.accept()
+                conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                child = recv_rank_hello(conn)
+                on_connection(rank, child, conn)
+        except Exception as exc:  # surfaced after join
+            accept_errors.append(exc)
+
+    acceptors = []
+    for rank, srv in listeners.items():
+        t = threading.Thread(
+            target=accept_all,
+            args=(rank, srv, len(topology.children(rank))),
+            name=f"tbon-tcp-accept-{rank}",
+            daemon=True,
+        )
+        t.start()
+        acceptors.append(t)
+
+    for parent, child in topology.iter_edges():
+        sock = socket.create_connection(
+            (host, ports[parent]), timeout=connect_timeout
+        )
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        send_rank_hello(sock, child)
+        on_connection(child, parent, sock)
+
+    for t in acceptors:
+        t.join(connect_timeout)
+    if accept_errors:
+        for srv in listeners.values():
+            srv.close()
+        raise TransportError(f"TCP accept failed: {accept_errors[0]}")
+    return listeners
 
 
 class _Connection:
@@ -115,7 +206,13 @@ class _Connection:
         hdr_view = memoryview(hdr_buf)
         body_buf = bytearray(65536)
         try:
-            while not self._closed.is_set():
+            # Gate on the transport-wide closing flag *before* blocking in
+            # recv, not only in the except clause below: at high fanout,
+            # shutdown() closes hundreds of sockets while their readers
+            # are parked mid-``recv_into``, and a reader that re-entered
+            # the loop just before its socket died would otherwise race
+            # past the post-hoc check and log a spurious "terminated".
+            while not self._closed.is_set() and not self._transport_closing.is_set():
                 _recv_into_exact(self.sock, hdr_view)
                 t0 = time.perf_counter() if _TEL.enabled else 0.0
                 length, dir_code, src = _HDR.unpack(hdr_buf)
@@ -183,61 +280,24 @@ class TCPTransport(Transport):
         self._listeners: dict[int, socket.socket] = {}
         self._closing = threading.Event()
 
+    @property
+    def closing(self) -> bool:
+        return self._closing.is_set()
+
     def bind(self, topology: Topology) -> None:
         if self.topology is not None:
             raise TransportError("transport already bound")
         self.topology = topology
         self._inboxes = {rank: Inbox() for rank in topology.ranks}
 
-        # One listener per rank that has children.
-        ports: dict[int, int] = {}
-        for rank in topology.ranks:
-            if topology.children(rank):
-                srv = socket.create_server((self.host, 0))
-                srv.settimeout(self.connect_timeout)
-                self._listeners[rank] = srv
-                ports[rank] = srv.getsockname()[1]
-
-        # Parents accept on their own threads; children connect from here.
-        accept_errors: list[Exception] = []
-
-        def accept_all(rank: int, srv: socket.socket, n: int) -> None:
-            try:
-                for _ in range(n):
-                    conn, _addr = srv.accept()
-                    conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-                    (child,) = _RANK_HELLO.unpack(_recv_exact(conn, _RANK_HELLO.size))
-                    self._conns[(rank, child)] = _Connection(
-                        conn, self._inboxes[rank], rank, closing=self._closing
-                    )
-            except Exception as exc:  # surfaced after join
-                accept_errors.append(exc)
-
-        acceptors = []
-        for rank, srv in self._listeners.items():
-            t = threading.Thread(
-                target=accept_all,
-                args=(rank, srv, len(topology.children(rank))),
-                name=f"tbon-tcp-accept-{rank}",
-                daemon=True,
-            )
-            t.start()
-            acceptors.append(t)
-
-        for parent, child in topology.iter_edges():
-            sock = socket.create_connection(
-                (self.host, ports[parent]), timeout=self.connect_timeout
-            )
-            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-            sock.sendall(_RANK_HELLO.pack(child))
-            self._conns[(child, parent)] = _Connection(
-                sock, self._inboxes[child], child, closing=self._closing
+        def attach(owner: int, peer: int, sock: socket.socket) -> None:
+            self._conns[(owner, peer)] = _Connection(
+                sock, self._inboxes[owner], owner, closing=self._closing
             )
 
-        for t in acceptors:
-            t.join(self.connect_timeout)
-        if accept_errors:
-            raise TransportError(f"TCP accept failed: {accept_errors[0]}")
+        self._listeners = establish_edges(
+            self.host, self.connect_timeout, topology, attach
+        )
         missing = [
             e for e in topology.iter_edges() if (e[0], e[1]) not in self._conns
         ]

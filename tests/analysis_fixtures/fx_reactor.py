@@ -1,0 +1,49 @@
+"""tboncheck fixture: TB601 reactor I/O discipline.
+
+Never imported — only parsed.  The engine applies TB601 to modules whose
+basename names the reactor (this file qualifies, like
+``src/repro/transport/reactor.py``): direct blocking socket calls are
+forbidden there because a single parked ``recv``/``sendall`` stalls the
+one event-loop thread serving every channel in the process.  See
+fx_wire_format.py for the marker conventions.
+"""
+
+import socket
+
+
+def blocking_calls_on_the_loop(sock: socket.socket, data: bytes):
+    sock.sendall(data)  # expect: TB601
+    sock.send(data)  # expect: TB601
+    chunk = sock.recv(4096)  # expect: TB601
+    n = sock.recv_into(bytearray(16))  # expect: TB601
+    sock.sendmsg([data])  # expect: TB601
+    return chunk, n
+
+
+def name_based_matching(transport, payload):
+    # The rule is deliberately lexical: inside the reactor package *any*
+    # ``.send(...)``-shaped call is flagged, even on a non-socket
+    # receiver, because the checker cannot see types and a miss here
+    # blocks every channel at once.  Route such calls through helpers
+    # or suppress explicitly.
+    transport.send(0, 1, None, payload)  # expect: TB601
+
+
+def _nb_send(sock: socket.socket, data: bytes):
+    # Sanctioned: the _nb_* helpers are the one place allowed to touch
+    # the primitives, translating EAGAIN into None.
+    try:
+        return sock.send(data)
+    except BlockingIOError:
+        return None
+
+
+def _nb_recv_into(sock: socket.socket, view: memoryview):
+    try:
+        return sock.recv_into(view)
+    except BlockingIOError:
+        return None
+
+
+def suppressed_handshake(sock: socket.socket, data: bytes):
+    sock.sendall(data)  # tbon: ignore[TB601]

@@ -50,6 +50,7 @@ def actual_findings(path: str) -> set[tuple[int, str]]:
         "fx_locks.py",
         "fx_excepts.py",
         "fx_telemetry.py",
+        "fx_reactor.py",
     ],
 )
 def test_fixture_findings_match_markers(fixture):
