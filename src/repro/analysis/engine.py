@@ -27,6 +27,12 @@ _PACKET_MODULE = os.path.join("core", "packet.py")
 #: The package whose Registry legitimately constructs instrument classes.
 _TELEMETRY_PACKAGE = os.path.join("repro", "telemetry") + os.sep
 
+#: The one module allowed to touch the ``_chaos_*`` fault hooks (TB701).
+#: Matched on the exact path suffix — NOT the basename — so the rule's
+#: fixture files (tests/analysis_fixtures/fx_chaos_hooks.py) stay in
+#: scope and the rule is testable like every other one.
+_CHAOS_MODULE = os.path.join("reliability", "chaos.py")
+
 
 def _is_reactor_module(path: str) -> bool:
     """TB601 scope: modules whose basename names the reactor.
@@ -104,6 +110,7 @@ def analyze_paths(paths: list[str]) -> AnalysisResult:
                 skip_packet_mutation=path.endswith(_PACKET_MODULE),
                 skip_telemetry_instruments=_TELEMETRY_PACKAGE in path,
                 check_reactor_io=_is_reactor_module(path),
+                check_chaos_hooks=not path.endswith(_CHAOS_MODULE),
             )
         )
     result.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))

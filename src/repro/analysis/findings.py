@@ -53,6 +53,7 @@ RULES: dict[str, str] = {
     "TB402": "broad 'except Exception' swallows the error without reporting it",
     "TB501": "telemetry instrument instantiated directly instead of through a Registry",
     "TB601": "blocking socket send/recv call inside the reactor package (use the _nb_* helpers)",
+    "TB701": "chaos fault hook (_chaos_*) used outside the sanctioned ChaosTransport wrapper",
 }
 
 _PRAGMA_RE = re.compile(r"#\s*tbon:\s*(?P<body>.*\S)\s*$")

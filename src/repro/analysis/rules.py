@@ -791,6 +791,41 @@ class _ReactorIOVisitor(ast.NodeVisitor):
         self.generic_visit(node)
 
 
+# -- TB7xx: chaos-hook discipline --------------------------------------------------
+
+
+class _ChaosHookVisitor(ast.NodeVisitor):
+    """TB701: fault-injection hooks used outside the sanctioned wrapper.
+
+    The chaos engine's interposition points are the ``_chaos_*``
+    methods, and the only caller allowed to reach them is
+    :class:`repro.reliability.chaos.ChaosTransport` — that wrapper is
+    what keeps fault injection composable (control plane exempt, one
+    decision per send, deterministic per-edge ordinals).  A ``_chaos_*``
+    reference anywhere else means production code is injecting faults
+    behind the wrapper's back, where none of those guarantees hold.
+    """
+
+    def __init__(self, path: str, findings: list[Finding]) -> None:
+        self.path = path
+        self.findings = findings
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if node.attr.startswith("_chaos_"):
+            self.findings.append(
+                Finding(
+                    "TB701",
+                    self.path,
+                    node.lineno,
+                    node.col_offset + 1,
+                    f"chaos fault hook .{node.attr} referenced outside "
+                    "repro.reliability.chaos; fault injection must go through "
+                    "the sanctioned ChaosTransport wrapper",
+                )
+            )
+        self.generic_visit(node)
+
+
 # -- entry point ----------------------------------------------------------------
 
 
@@ -803,6 +838,7 @@ def analyze_module(
     skip_packet_mutation: bool = False,
     skip_telemetry_instruments: bool = False,
     check_reactor_io: bool = False,
+    check_chaos_hooks: bool = False,
 ) -> list[Finding]:
     """Run every rule over one parsed module; returns unsuppressed findings.
 
@@ -813,7 +849,9 @@ def analyze_module(
     paths legitimately construct the instrument classes.
     ``check_reactor_io`` turns on TB601 — it applies only to reactor
     modules, where a blocking socket call would stall the whole event
-    loop.
+    loop.  ``check_chaos_hooks`` turns on TB701 everywhere *except*
+    :mod:`repro.reliability.chaos`, the one module allowed to touch the
+    ``_chaos_*`` fault hooks.
     """
     findings: list[Finding] = []
     for line, message in pragmas.errors:
@@ -828,4 +866,6 @@ def analyze_module(
         _TelemetryInstrumentVisitor(path, findings).visit(tree)
     if check_reactor_io:
         _ReactorIOVisitor(path, findings).visit(tree)
+    if check_chaos_hooks:
+        _ChaosHookVisitor(path, findings).visit(tree)
     return [f for f in findings if not pragmas.suppressed(f.rule, f.line)]

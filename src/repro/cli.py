@@ -244,6 +244,32 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from .core.topology import balanced_topology
+    from .reliability.chaos import ALL_KINDS, run_chaos
+    from .telemetry import enable as telemetry_enable
+
+    kinds = tuple(k.strip() for k in args.faults.split(",") if k.strip())
+    bad = [k for k in kinds if k not in ALL_KINDS]
+    if bad:
+        print(f"chaos: unknown fault kinds {bad}; choose from {list(ALL_KINDS)}")
+        return 2
+    telemetry_enable()  # fault/recovery counters show up in `repro stats`
+    topo = balanced_topology(args.fanout, args.depth)
+    print(f"# chaos storm on {topo} over {args.transport}: "
+          f"seed={args.seed} faults={','.join(kinds)}")
+    report = run_chaos(
+        args.seed,
+        topology=topo,
+        transport=args.transport,
+        kinds=kinds,
+        waves=args.waves,
+        events=args.events,
+    )
+    print(report.format())
+    return 0 if report.ok else 1
+
+
 def _cmd_tboncheck(args: argparse.Namespace) -> int:
     from .analysis.engine import main as tboncheck_main
 
@@ -310,6 +336,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ss.add_argument("--format", choices=["prom", "json", "both"], default="both")
     ss.set_defaults(fn=_cmd_stats)
+
+    ch = sub.add_parser(
+        "chaos", help="seeded fault-injection run (docs/RELIABILITY.md)"
+    )
+    ch.add_argument("--seed", type=int, default=1)
+    ch.add_argument(
+        "--faults",
+        default="drop,delay,duplicate,reorder",
+        help="comma-separated fault kinds: "
+        "drop,delay,duplicate,reorder,partition,reset,crash",
+    )
+    ch.add_argument("--fanout", type=int, default=3)
+    ch.add_argument("--depth", type=int, default=2)
+    ch.add_argument("--waves", type=int, default=6)
+    ch.add_argument("--events", type=int, default=12)
+    ch.add_argument(
+        "--transport",
+        choices=["tcp", "reactor", "tcp-threads", "thread"],
+        default="tcp",
+        help="'tcp' resolves via TBON_TRANSPORT (reactor by default)",
+    )
+    ch.set_defaults(fn=_cmd_chaos)
 
     tc = sub.add_parser(
         "tboncheck", help="TBON-aware static analysis (docs/ANALYSIS.md)"

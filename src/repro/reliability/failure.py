@@ -17,8 +17,13 @@ from __future__ import annotations
 
 from ..core.errors import NodeFailureError, TopologyError
 from ..core.network import Network
+from ..telemetry.registry import GLOBAL as _REGISTRY, TELEMETRY as _TEL
 
 __all__ = ["FailureInjector"]
+
+_m_crashes = _REGISTRY.counter(
+    "tbon_reliability_faults_total", labels={"kind": "crash"}
+)
 
 
 class FailureInjector:
@@ -49,9 +54,17 @@ class FailureInjector:
             raise NodeFailureError(f"rank {rank} already failed")
         node = net.nodes[rank]
         node.running = False
+        # On socket transports, sever the dead rank's connections as an
+        # *expected* close first, so surviving peers log an orderly
+        # disconnect rather than a reader/reactor error (teardown race).
+        disconnect = getattr(net.transport, "disconnect_rank", None)
+        if disconnect is not None:
+            disconnect(rank)
         net.transport.inbox(rank).close()  # unblocks the loop, closes channel
         node.join(timeout=2.0)
         self.failed.add(rank)
+        if _TEL.enabled:
+            _m_crashes.inc()
 
     def is_failed(self, rank: int) -> bool:
         return rank in self.failed

@@ -66,7 +66,7 @@ from ..core.packet import Packet
 from ..core.topology import Topology
 from ..telemetry.registry import GLOBAL as _TELEMETRY, SIZE_BOUNDS, TELEMETRY as _TEL
 from .base import Inbox, Transport
-from .tcp import _HDR, establish_edges
+from .tcp import _EdgeRepairMixin, _HDR, establish_edges
 
 __all__ = ["ReactorTransport", "Reactor"]
 
@@ -219,6 +219,9 @@ class _ReactorConnection:
         self._depth = 0  # tbon: lock=_lock
         self._write_armed = False  # tbon: lock=_lock
         self.closed = False  # tbon: lock=_lock
+        # Set (before close) when recovery tears this edge down on
+        # purpose, so _drop() does not log it as a peer crash.
+        self.expected_close = False
         # Partially written sendmsg vector (reactor thread only).
         self._inflight: list[memoryview] = []
         self._inflight_frames = 0
@@ -386,11 +389,21 @@ class _ReactorConnection:
                     _m_qdepth.set(self._depth)
                 self._ready.notify_all()
 
-    def close(self) -> None:
-        """Mark closed and release every producer blocked on backpressure."""
+    def expect_close(self) -> None:
+        """Mark the coming teardown of this edge as orderly (recovery)."""
+        self.expected_close = True
+
+    def mark_closed(self) -> None:
+        """Fail-fast half of :meth:`close`: flag the channel closed and
+        release every producer blocked on backpressure, leaving the
+        socket itself for the reactor thread to close."""
         with self._lock:
             self.closed = True
             self._ready.notify_all()
+
+    def close(self) -> None:
+        """Mark closed and release every producer blocked on backpressure."""
+        self.mark_closed()
         try:
             self.sock.close()
         except OSError:
@@ -417,6 +430,8 @@ class Reactor:
         self._selector.register(self._wake_r, selectors.EVENT_READ, None)
         self._plock = make_lock("reactor_pending")
         self._pending: list[_ReactorConnection] = []  # tbon: lock=_plock
+        self._pending_register: list[_ReactorConnection] = []  # tbon: lock=_plock
+        self._pending_drop: list[_ReactorConnection] = []  # tbon: lock=_plock
         self._conns: list[_ReactorConnection] = []
         self._closing = threading.Event()
         self._started = False
@@ -430,6 +445,46 @@ class Reactor:
     def start(self) -> None:
         self._started = True
         self._thread.start()
+
+    # -- live (re-)registration (recovery path, any thread) ------------------
+    def register_live(self, conn: _ReactorConnection) -> None:
+        """Hand a repaired channel to the running loop.
+
+        Selector mutation stays single-threaded: the connection is
+        queued and the loop itself registers it on the next wakeup —
+        before it processes any pending write for the same channel, so
+        a send racing the repair cannot observe a half-registered
+        socket.
+        """
+        if not self._started:
+            self.register(conn)
+            return
+        with self._plock:
+            self._pending_register.append(conn)
+        _nb_wake_send(self._wake_w)
+
+    def drop_live(self, conn: _ReactorConnection) -> None:
+        """Detach ``conn`` from the running loop and close it (any thread).
+
+        The loop must do the unregistering itself: closing the fd first
+        would leave a stale selector entry that collides with the next
+        registration when the kernel reuses the fd number.  The
+        connection is only *marked* closed here (releasing any producer
+        blocked on backpressure); the socket closes on the loop thread.
+        """
+        if not self._started or self._closing.is_set():
+            try:
+                self._selector.unregister(conn.sock)
+            except (KeyError, ValueError, OSError):
+                pass
+            conn.close()
+            if conn in self._conns:
+                self._conns.remove(conn)
+            return
+        conn.mark_closed()  # sends fail fast from this point on
+        with self._plock:
+            self._pending_drop.append(conn)
+        _nb_wake_send(self._wake_w)
 
     # -- producer-facing wakeup ----------------------------------------------
     def request_write(self, conn: _ReactorConnection) -> None:
@@ -451,7 +506,29 @@ class Reactor:
         while _nb_recv_into(self._wake_r, buf):
             pass
         with self._plock:
+            drops, self._pending_drop = self._pending_drop, []
+            registers, self._pending_register = self._pending_register, []
             pending, self._pending = self._pending, []
+        # Order matters: drops before registers (a reconnect queues the
+        # old channel's drop before the new one's register, and the new
+        # socket may reuse the old fd), registers before writes (a send
+        # racing the repair must find its socket registered).
+        for conn in drops:
+            try:
+                self._selector.unregister(conn.sock)
+            except (KeyError, ValueError, OSError):
+                pass
+            conn.close()
+            if conn in self._conns:
+                self._conns.remove(conn)
+        for conn in registers:
+            if conn.closed:
+                continue
+            self._conns.append(conn)
+            try:
+                self._selector.register(conn.sock, selectors.EVENT_READ, conn)
+            except (KeyError, ValueError, OSError) as exc:
+                self._drop(conn, OSError(f"live registration failed: {exc}"))
         for conn in pending:
             if conn.closed:
                 continue
@@ -496,7 +573,9 @@ class Reactor:
         except (KeyError, ValueError, OSError):
             pass
         conn.close()
-        if not self._closing.is_set():
+        if conn in self._conns:
+            self._conns.remove(conn)
+        if not self._closing.is_set() and not conn.expected_close:
             _LOG.warning(
                 "reactor connection for rank %d terminated: %s",
                 conn.owner_rank,
@@ -509,6 +588,12 @@ class Reactor:
         _nb_wake_send(self._wake_w)
         if self._started:
             self._thread.join(5.0)
+        with self._plock:
+            leftovers = self._pending_register + self._pending_drop
+            self._pending_register = []
+            self._pending_drop = []
+        for conn in leftovers:
+            conn.close()
         for conn in self._conns:
             conn.close()
         try:
@@ -519,7 +604,7 @@ class Reactor:
         self._wake_w.close()
 
 
-class ReactorTransport(Transport):
+class ReactorTransport(_EdgeRepairMixin, Transport):
     """Localhost-TCP channels multiplexed onto one reactor thread.
 
     Same wire format, bind handshake and FIFO/delivery guarantees as
@@ -569,21 +654,30 @@ class ReactorTransport(Transport):
     def closing(self) -> bool:
         return self._closing.is_set()
 
+    def _attach(self, owner: int, peer: int, sock: socket.socket) -> None:
+        conn = _ReactorConnection(sock, self._inboxes[owner], owner, self._reactor)
+        self._conns[(owner, peer)] = conn
+        # register_live degrades to plain register() before the loop
+        # starts, so bind and recovery share this one attach path.
+        self._reactor.register_live(conn)
+
+    def _drop_conn(
+        self, key: tuple[int, int], *, expected: bool = True
+    ) -> "_ReactorConnection | None":
+        conn = self._conns.pop(key, None)
+        if conn is not None:
+            if expected:
+                conn.expect_close()
+            self._reactor.drop_live(conn)
+        return conn
+
     def bind(self, topology: Topology) -> None:
         if self.topology is not None:
             raise TransportError("transport already bound")
         self.topology = topology
         self._inboxes = {rank: Inbox() for rank in topology.ranks}
-
-        def attach(owner: int, peer: int, sock: socket.socket) -> None:
-            conn = _ReactorConnection(
-                sock, self._inboxes[owner], owner, self._reactor
-            )
-            self._conns[(owner, peer)] = conn
-            self._reactor.register(conn)
-
         self._listeners = establish_edges(
-            self.host, self.connect_timeout, topology, attach
+            self.host, self.connect_timeout, topology, self._attach
         )
         missing = [
             e for e in topology.iter_edges() if (e[0], e[1]) not in self._conns

@@ -26,6 +26,7 @@ path, not multi-host deployment (see DESIGN.md, out of scope).
 from __future__ import annotations
 
 import logging
+import random
 import socket
 import struct
 import threading
@@ -43,6 +44,7 @@ from .base import Inbox, Transport
 __all__ = [
     "TCPTransport",
     "establish_edges",
+    "connect_with_backoff",
     "send_rank_hello",
     "recv_rank_hello",
 ]
@@ -64,6 +66,10 @@ _m_send_lat = _TELEMETRY.histogram(
 _m_recv_lat = _TELEMETRY.histogram(
     "tbon_transport_recv_seconds", {"transport": "tcp"}
 )
+# Recovery instruments shared by both socket transports (the Registry's
+# get-or-create semantics make this the same counter object the reactor
+# module and docs/RELIABILITY.md refer to).
+_m_reconnects = _TELEMETRY.counter("tbon_recovery_reconnects_total")
 
 _HDR = struct.Struct("<IBi")
 _RANK_HELLO = struct.Struct("<i")
@@ -174,6 +180,45 @@ def establish_edges(
     return listeners
 
 
+def connect_with_backoff(
+    host: str,
+    port: int,
+    rank: int,
+    *,
+    connect_timeout: float,
+    attempts: int = 6,
+    base_delay: float = 0.05,
+    max_delay: float = 1.0,
+    rng: random.Random | None = None,
+) -> socket.socket:
+    """Connect to a listener and announce ``rank``, retrying with backoff.
+
+    Recovery-path counterpart of the bind-time ``create_connection``:
+    while an edge is being repaired the peer's accept thread may not be
+    up yet, so connection refusals are retried with capped exponential
+    backoff plus jitter (``delay = min(base * 2^n, cap) * U[0.5, 1.0)``
+    — the jitter keeps k children re-parented onto one grandparent from
+    hammering its listener in lockstep).  Raises
+    :class:`TransportError` once the attempts are exhausted.
+    """
+    jitter = (rng or random).random
+    last: Exception | None = None
+    for attempt in range(attempts):
+        try:
+            sock = socket.create_connection((host, port), timeout=connect_timeout)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            send_rank_hello(sock, rank)
+            return sock
+        except OSError as exc:
+            last = exc
+            delay = min(base_delay * (2**attempt), max_delay)
+            time.sleep(delay * (0.5 + jitter() / 2))
+    raise TransportError(
+        f"rank {rank} could not reconnect to {host}:{port} "
+        f"after {attempts} attempts: {last}"
+    )
+
+
 class _Connection:
     """One side of a TCP channel: framed writes plus a reader thread."""
 
@@ -189,6 +234,11 @@ class _Connection:
         self.owner_rank = owner_rank
         self._wlock = make_lock("tcp_write")
         self._closed = threading.Event()
+        # Per-edge teardown flag: recovery tears individual channels down
+        # (dead-node disconnect, rebind dropping stale edges) while the
+        # transport as a whole keeps running, so the reader needs an
+        # edge-local analogue of the transport-wide flag below.
+        self._expected = threading.Event()
         # Transport-wide teardown flag: during an orderly shutdown the
         # peer's FIN may beat our own close(), and that is not an error.
         self._transport_closing = closing or threading.Event()
@@ -196,6 +246,23 @@ class _Connection:
             target=self._read_loop, name=f"tbon-tcp-read-{owner_rank}", daemon=True
         )
         self.reader.start()
+
+    def expect_close(self) -> None:
+        """Mark the coming teardown of this edge as orderly.
+
+        Both sides of a recovered edge live in this process, so the
+        peer's reader would otherwise observe our close as a peer crash
+        and log a spurious termination warning.
+        """
+        self._expected.set()
+
+    @property
+    def _teardown(self) -> bool:
+        return (
+            self._closed.is_set()
+            or self._expected.is_set()
+            or self._transport_closing.is_set()
+        )
 
     def _read_loop(self) -> None:
         # One reusable receive buffer per connection, grown to the
@@ -212,7 +279,7 @@ class _Connection:
             # are parked mid-``recv_into``, and a reader that re-entered
             # the loop just before its socket died would otherwise race
             # past the post-hoc check and log a spurious "terminated".
-            while not self._closed.is_set() and not self._transport_closing.is_set():
+            while not self._teardown:
                 _recv_into_exact(self.sock, hdr_view)
                 t0 = time.perf_counter() if _TEL.enabled else 0.0
                 length, dir_code, src = _HDR.unpack(hdr_buf)
@@ -233,7 +300,7 @@ class _Connection:
             # Expected when close() tore the connection down; anything
             # else (peer crash, malformed frame killing from_bytes) must
             # not vanish with the reader thread.
-            if not self._closed.is_set() and not self._transport_closing.is_set():
+            if not self._teardown:
                 _LOG.warning(
                     "tcp reader for rank %d terminated: %s", self.owner_rank, exc
                 )
@@ -267,7 +334,194 @@ class _Connection:
         self.sock.close()
 
 
-class TCPTransport(Transport):
+class _EdgeRepairMixin:
+    """Live-reconfiguration machinery shared by the socket transports.
+
+    Both the threaded and reactor transports keep the same bookkeeping —
+    ``_conns[(owner, peer)]``, ``_listeners[rank]``, ``_inboxes[rank]`` —
+    so everything recovery needs (dropping the dead node's channels,
+    re-listening, reconnecting re-parented children with backoff) is
+    implementation-independent; subclasses supply only the two hooks
+    that differ, :meth:`_attach` (wrap an established socket in their
+    connection type) and :meth:`_drop_conn` (tear one channel down).
+
+    The blocking accept/connect calls here run on the recovery caller's
+    thread, never on a reactor event loop — which is also why this lives
+    in the tcp module and not the reactor one (tboncheck TB601).
+    """
+
+    host: str
+    connect_timeout: float
+    _inboxes: dict[int, Inbox]
+    _listeners: dict[int, socket.socket]
+    _conns: dict[tuple[int, int], Any]
+    topology: Topology | None
+
+    def _attach(self, owner: int, peer: int, sock: socket.socket) -> None:
+        raise NotImplementedError
+
+    def _drop_conn(self, key: tuple[int, int], *, expected: bool = True) -> Any:
+        raise NotImplementedError
+
+    def _listener_for(self, rank: int) -> socket.socket:
+        """The rank's listening socket, created lazily for new parents
+        (a back-end promoted to carry re-parented children, or a rank
+        whose listener died with the crash being repaired)."""
+        srv = self._listeners.get(rank)
+        if srv is None:
+            srv = socket.create_server((self.host, 0))
+            srv.settimeout(self.connect_timeout)
+            self._listeners[rank] = srv
+        return srv
+
+    def _establish_missing(self, edges: Sequence[tuple[int, int]]) -> None:
+        """Open sockets for ``edges`` (parent, child), hello-handshaken.
+
+        Mirrors bind-time :func:`establish_edges` — transient accept
+        thread per parent, child side connecting with
+        :func:`connect_with_backoff` — but against the live transport's
+        connection table.
+        """
+        if not edges:
+            return
+        by_parent: dict[int, list[int]] = {}
+        for parent, child in edges:
+            by_parent.setdefault(parent, []).append(child)
+        errors: list[Exception] = []
+
+        def accept_n(rank: int, srv: socket.socket, n: int) -> None:
+            try:
+                for _ in range(n):
+                    sock, _addr = srv.accept()
+                    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                    child = recv_rank_hello(sock)
+                    self._attach(rank, child, sock)
+            except Exception as exc:  # surfaced after join
+                errors.append(exc)
+
+        acceptors = []
+        ports: dict[int, int] = {}
+        for parent, kids in by_parent.items():
+            srv = self._listener_for(parent)
+            ports[parent] = srv.getsockname()[1]
+            t = threading.Thread(
+                target=accept_n,
+                args=(parent, srv, len(kids)),
+                name=f"tbon-reaccept-{parent}",
+                daemon=True,
+            )
+            t.start()
+            acceptors.append(t)
+        for parent, kids in by_parent.items():
+            for child in kids:
+                sock = connect_with_backoff(
+                    self.host, ports[parent], child,
+                    connect_timeout=self.connect_timeout,
+                )
+                self._attach(child, parent, sock)
+        for t in acceptors:
+            t.join(self.connect_timeout)
+        if errors:
+            raise TransportError(f"edge repair failed: {errors[0]}")
+        still = [e for e in edges if e not in self._conns]
+        if still:
+            raise TransportError(f"edges failed to re-establish: {still}")
+        if _TEL.enabled:
+            _m_reconnects.inc(len(edges))
+
+    #: True while :meth:`rebind` swaps edges — the new topology is
+    #: visible before its connections exist, and senders (node event
+    #: loops) use this to classify failures in that window as the
+    #: documented reconfiguration loss, not node errors.
+    rebinding = False
+
+    def _mark_expected(self, keys: list[tuple[int, int]]) -> None:
+        """Flag every channel in ``keys`` as expecting an orderly close.
+
+        Must happen *before* the first socket of the batch is closed:
+        closing one direction delivers EOF on its paired reverse channel,
+        and the reader/reactor must already know that close is expected
+        or it logs a spurious termination warning (the teardown race).
+        """
+        for key in keys:
+            conn = self._conns.get(key)
+            if conn is not None:
+                conn.expect_close()
+
+    def rebind(self, topology: Topology) -> None:
+        """Adopt a reconfigured topology on live sockets.
+
+        Surviving edges keep their connections (and any frames queued on
+        them — no data loss on channels that did not break); channels to
+        ranks that left the tree are closed orderly; edges the new tree
+        introduces (children re-parented onto the grandparent, attached
+        back-ends) are established with backoff, so a subsequent
+        topology push can travel over the repaired channels themselves.
+        """
+        if self.topology is None:
+            raise TransportError("transport is not bound")
+        self.rebinding = True
+        try:
+            keep: set[tuple[int, int]] = set()
+            for parent, child in topology.iter_edges():
+                keep.add((parent, child))
+                keep.add((child, parent))
+            stale = [k for k in self._conns if k not in keep]
+            self._mark_expected(stale)
+            for key in stale:
+                self._drop_conn(key)
+            for rank in [r for r in self._listeners if r not in topology]:
+                self._listeners.pop(rank).close()
+            for rank in topology.ranks:
+                self._inboxes.setdefault(rank, Inbox())
+            self.topology = topology
+            self._establish_missing(
+                [e for e in topology.iter_edges() if e not in self._conns]
+            )
+        finally:
+            self.rebinding = False
+
+    def disconnect_rank(self, rank: int) -> None:
+        """Sever every channel touching ``rank`` (crash semantics).
+
+        Used by failure injection before the node's inbox closes: a
+        crashed process takes its sockets with it.  Surviving peers'
+        readers see the close as orderly (per-edge expected flag) — the
+        recovery layer, not a log warning, is what reports the failure.
+        """
+        keys = [k for k in self._conns if rank in k]
+        self._mark_expected(keys)
+        for key in keys:
+            self._drop_conn(key)
+        srv = self._listeners.pop(rank, None)
+        if srv is not None:
+            srv.close()
+
+    def reset_edge(self, a: int, b: int) -> None:
+        """Tear down the channel pair of edge ``(a, b)`` mid-run.
+
+        The chaos engine's connection-reset fault: frames queued on the
+        edge are lost, subsequent sends raise
+        :class:`ChannelClosedError` until :meth:`reconnect_edge`
+        repairs it.
+        """
+        self._mark_expected([(a, b), (b, a)])
+        found = False
+        for key in ((a, b), (b, a)):
+            if self._drop_conn(key) is not None:
+                found = True
+        if not found:
+            raise TransportError(f"({a}, {b}) has no live connection to reset")
+
+    def reconnect_edge(self, parent: int, child: int) -> None:
+        """Re-establish one tree edge (the repair half of a reset)."""
+        self._mark_expected([(parent, child), (child, parent)])
+        for key in ((parent, child), (child, parent)):
+            self._drop_conn(key)
+        self._establish_missing([(parent, child)])
+
+
+class TCPTransport(_EdgeRepairMixin, Transport):
     """Localhost-TCP channels for every edge of the tree."""
 
     def __init__(self, host: str = "127.0.0.1", connect_timeout: float = 10.0):
@@ -284,19 +538,28 @@ class TCPTransport(Transport):
     def closing(self) -> bool:
         return self._closing.is_set()
 
+    def _attach(self, owner: int, peer: int, sock: socket.socket) -> None:
+        self._conns[(owner, peer)] = _Connection(
+            sock, self._inboxes[owner], owner, closing=self._closing
+        )
+
+    def _drop_conn(
+        self, key: tuple[int, int], *, expected: bool = True
+    ) -> _Connection | None:
+        conn = self._conns.pop(key, None)
+        if conn is not None:
+            if expected:
+                conn.expect_close()
+            conn.close()
+        return conn
+
     def bind(self, topology: Topology) -> None:
         if self.topology is not None:
             raise TransportError("transport already bound")
         self.topology = topology
         self._inboxes = {rank: Inbox() for rank in topology.ranks}
-
-        def attach(owner: int, peer: int, sock: socket.socket) -> None:
-            self._conns[(owner, peer)] = _Connection(
-                sock, self._inboxes[owner], owner, closing=self._closing
-            )
-
         self._listeners = establish_edges(
-            self.host, self.connect_timeout, topology, attach
+            self.host, self.connect_timeout, topology, self._attach
         )
         missing = [
             e for e in topology.iter_edges() if (e[0], e[1]) not in self._conns

@@ -1,0 +1,44 @@
+"""tboncheck fixture: TB701 chaos-hook discipline.
+
+Never imported — only parsed.  TB701 applies everywhere *except*
+``src/repro/reliability/chaos.py`` (the engine exempts that exact path
+suffix, so this fixture — a different file — stays in scope): the
+``_chaos_*`` fault hooks may only be reached through the sanctioned
+``ChaosTransport`` wrapper, which is what guarantees the control plane
+is never faulted and fault decisions stay deterministic per edge.  See
+fx_wire_format.py for the marker conventions.
+"""
+
+
+class SneakyTransport:
+    def __init__(self, engine):
+        self.engine = engine
+
+    def send(self, src, dst, direction, packet):
+        # Production code injecting faults behind the wrapper's back.
+        self.engine._chaos_apply(self._raw_send, src, dst, direction, packet)  # expect: TB701
+
+    def _raw_send(self, src, dst, direction, packet):
+        pass
+
+
+def poke_engine_internals(engine, packet):
+    decision = engine._chaos_decide(packet)  # expect: TB701
+    return decision
+
+
+def read_is_flagged_too(engine):
+    # Even a bare attribute read leaks the hook out of the wrapper.
+    hook = engine._chaos_apply  # expect: TB701
+    return hook
+
+
+def suppressed_with_reason(engine, packet):
+    # The standard escape hatch still works.
+    engine._chaos_apply(None, 0, 1, None, packet)  # tbon: ignore[TB701]
+
+
+def unrelated_private_attrs_are_fine(transport, packet):
+    transport._conns.clear()
+    transport._chaostrophic = packet  # prefix must match "_chaos_" exactly
+    return transport._chao

@@ -15,6 +15,39 @@ import repro.filters_ext  # noqa: F401 - registers tool filters
 from repro import Network, Topology, balanced_topology, flat_topology
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    group = parser.getgroup("chaos", "seeded fault-injection suite")
+    group.addoption(
+        "--chaos-seeds",
+        type=int,
+        default=6,
+        help="number of seeds the chaos property suite sweeps (1..N)",
+    )
+    group.addoption(
+        "--chaos-seed",
+        type=int,
+        default=None,
+        help="replay exactly one chaos seed (e.g. a failing seed from CI)",
+    )
+
+
+def pytest_generate_tests(metafunc: pytest.Metafunc) -> None:
+    """Parametrize any test taking ``chaos_seed`` over the seed sweep.
+
+    ``--chaos-seed N`` pins the sweep to one seed so a CI failure
+    reproduces locally with a single flag; otherwise ``--chaos-seeds``
+    picks the sweep width (CI soaks with 10, the default tier-1 run
+    uses 6).
+    """
+    if "chaos_seed" in metafunc.fixturenames:
+        pinned = metafunc.config.getoption("--chaos-seed")
+        if pinned is not None:
+            seeds = [pinned]
+        else:
+            seeds = list(range(1, metafunc.config.getoption("--chaos-seeds") + 1))
+        metafunc.parametrize("chaos_seed", seeds)
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     return np.random.default_rng(12345)

@@ -81,11 +81,38 @@ class TestLiveAttach:
             assert s.recv(timeout=10).values[0] == 7
             assert net.node_errors() == {}
 
-    def test_tcp_attach_unsupported(self):
+    def test_tcp_attach_live(self):
+        """Socket transports rebind live since PR 5, so attach works over TCP."""
         net = Network(balanced_topology(2, 2), transport="tcp")
         try:
-            with pytest.raises(StreamError, match="does not support"):
-                net.attach_backend(net.topology.internals[0])
+            new_be = net.attach_backend(net.topology.internals[0])
+            time.sleep(0.3)  # allow reconfiguration + reconnects to land
+            s = net.new_stream(transform="sum", sync="wait_for_all")
+            assert new_be.rank in s.members
+
+            def leaf(be):
+                be.wait_for_stream(s.stream_id)
+                be.send(s.stream_id, TAG, "%d", 1)
+
+            net.run_backends(leaf)
+            assert s.recv(timeout=10).values[0] == net.topology.n_backends
+            assert net.node_errors() == {}
+        finally:
+            net.shutdown()
+
+    def test_attach_requires_rebind_capability(self):
+        """A transport without rebind() cannot host live attach."""
+        import types
+
+        net = Network(balanced_topology(2, 2))
+        try:
+            real = net.transport
+            net.transport = types.SimpleNamespace(inbox=real.inbox)
+            try:
+                with pytest.raises(StreamError, match="does not support"):
+                    net.attach_backend(net.topology.internals[0])
+            finally:
+                net.transport = real
         finally:
             net.shutdown()
 

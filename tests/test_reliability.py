@@ -116,15 +116,21 @@ class TestRecovery:
         with pytest.raises(RecoveryError):
             recover_from_failure(net3x2, 999)
 
-    def test_tcp_recovery_unsupported(self):
-        net = Network(balanced_topology(2, 2), transport="tcp")
+    def test_recovery_requires_rebind_capability(self, net3x2):
+        """Socket transports recover now (test_recovery_sockets.py); the
+        capability check still guards transports without ``rebind``."""
+        import types
+
+        victim = net3x2.topology.internals[0]
+        FailureInjector(net3x2).kill_node(victim)
+        real = net3x2.transport
+        net3x2.transport = types.SimpleNamespace(inbox=real.inbox)
         try:
-            victim = net.topology.internals[0]
-            FailureInjector(net).kill_node(victim)
             with pytest.raises(RecoveryError, match="does not support"):
-                recover_from_failure(net, victim)
+                recover_from_failure(net3x2, victim)
         finally:
-            net.shutdown()
+            net3x2.transport = real
+        recover_from_failure(net3x2, victim)  # teardown needs a sane tree
 
     def test_failure_under_active_load(self, net3x2):
         """Kill a node while back-ends are mid-burst; the network stays
@@ -161,6 +167,38 @@ class TestRecovery:
             be.wait_for_stream(s2.stream_id)
             be.send(s2.stream_id, TAG, "%d", 5)
         assert s2.recv(timeout=10).values[0] == 45
+
+    def test_crash_during_timeout_wave_releases_partial(self, net3x2):
+        """Coverage gap: a crash *during* a ``TimeOut`` synchronization
+        wave.  The straggler subtree is lost mid-wave; the blocked wave
+        must release with the survivors' partial results once the window
+        expires (PR 3's partial-wave semantics under failure)."""
+        s = net3x2.new_stream(
+            transform="sum", sync="time_out", sync_params={"window": 1.0}
+        )
+        for be in net3x2.backends:
+            be.wait_for_stream(s.stream_id)
+        victim = net3x2.topology.internals[1]
+        lost = net3x2.topology.subtree_backends(victim)
+        survivors = [r for r in net3x2.topology.backends if r not in lost]
+
+        # Survivors contribute; the root's window opens on their first
+        # aggregate while the wave still waits on the victim's subtree.
+        for r in survivors:
+            net3x2.backend(r).send(s.stream_id, TAG, "%d", 1)
+        time.sleep(0.2)
+        FailureInjector(net3x2).kill_node(victim)
+        recover_from_failure(net3x2, victim)
+
+        # The straggler subtree is gone: window expiry releases the
+        # partial wave with exactly the survivors' contributions.
+        assert s.recv(timeout=10).values[0] == len(survivors)
+
+        # And the re-parented tree serves a full wave afterwards.
+        time.sleep(0.3)
+        for r in net3x2.topology.backends:
+            net3x2.backend(r).send(s.stream_id, TAG, "%d", 2)
+        assert s.recv(timeout=10).values[0] == 18
 
     def test_repeated_failures(self, net3x2):
         """Survive losing every internal node, one at a time."""

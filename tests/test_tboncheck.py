@@ -51,6 +51,7 @@ def actual_findings(path: str) -> set[tuple[int, str]]:
         "fx_excepts.py",
         "fx_telemetry.py",
         "fx_reactor.py",
+        "fx_chaos_hooks.py",
     ],
 )
 def test_fixture_findings_match_markers(fixture):
